@@ -1,0 +1,239 @@
+// Benchmarks regenerating the paper's figures and the DESIGN.md ablation
+// experiments. Run them all with
+//
+//	go test -bench=. -benchmem
+//
+// Each figure bench prints the series/summary the paper reports (once,
+// on the first iteration) and then times the run, so the same target
+// both regenerates the result and measures its cost. EXPERIMENTS.md
+// records the measured outcomes.
+package modelcc_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/experiments"
+	"modelcc/internal/model"
+	"modelcc/internal/packet"
+	"modelcc/internal/planner"
+	"modelcc/internal/utility"
+)
+
+// benchDuration keeps figure benches affordable; the cmd/ tools run the
+// full 300 s / 250 s versions.
+const benchDuration = 120 * time.Second
+
+// BenchmarkFig1 regenerates Figure 1: RTT during a TCP download over a
+// deeply buffered LTE-like link (bufferbloat).
+func BenchmarkFig1(b *testing.B) {
+	printed := false
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Fig1Config{Duration: benchDuration, Seed: 3}
+		res := experiments.RunFig1(cfg)
+		if !printed {
+			printed = true
+			b.Logf("\n%s", res.Render())
+			report, ok := experiments.Fig1Claims(res, 50*time.Millisecond)
+			b.Logf("\n%s", report)
+			if !ok {
+				b.Error("Figure 1 claims failed")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 with the paper's full §4 prior:
+// sequence number vs time for each cross-traffic priority α.
+func BenchmarkFig3(b *testing.B) {
+	for _, alpha := range experiments.Fig3Alphas {
+		b.Run(fmt.Sprintf("alpha=%g", alpha), func(b *testing.B) {
+			printed := false
+			for i := 0; i < b.N; i++ {
+				res := experiments.RunISender(experiments.Fig3Config(alpha, 42, benchDuration))
+				if !printed {
+					printed = true
+					b.Logf("alpha=%g: sent=%d acked=%d drops=%d/%d goodput=%v support(max)=%v",
+						alpha, res.Sent, res.Acked, res.OwnBufferDrops, res.CrossBufferDrops,
+						res.OwnThroughput, res.SupportSize.Max())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimpleConvergence regenerates the §4 simple-configuration
+// result: tentative start, then sending at exactly the link speed.
+func BenchmarkSimpleConvergence(b *testing.B) {
+	printed := false
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunSimple(11, benchDuration)
+		if !printed {
+			printed = true
+			b.Logf("early=%.3f pkt/s late=%.3f pkt/s converged=%v",
+				res.EarlyRate, res.LateRate, res.ConvergedToLinkSpeed)
+		}
+	}
+}
+
+// BenchmarkDrainFirst regenerates the §4 latency-penalty result: the
+// sender drains the shared buffer before using the link.
+func BenchmarkDrainFirst(b *testing.B) {
+	printed := false
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunDrain(13, 90*time.Second)
+		if !printed {
+			printed = true
+			b.Logf("penalized first send %v vs unpenalized %v",
+				res.PenalizedFirstSend, res.UnpenalizedFirstSend)
+		}
+	}
+}
+
+// BenchmarkBeliefScaling measures the §3.2 scalability observation
+// ("maintaining more than a few million possible discrete channel
+// configurations is impractical"): cost of one Bayesian update as the
+// prior grows.
+func BenchmarkBeliefScaling(b *testing.B) {
+	for _, n := range []int{7, 13, 25, 49} {
+		prior := model.Prior{
+			LinkRate:      model.PriorRange{Lo: 8000, Hi: 20000, N: n},
+			CrossFrac:     model.PriorRange{Lo: 0.4, Hi: 0.7, N: 4},
+			LossProb:      model.PriorRange{Lo: 0, Hi: 0.2, N: 5},
+			BufferCapBits: model.PriorRange{Lo: 72000, Hi: 108000, N: 4},
+			FullnessSteps: 4,
+			MeanSwitch:    100 * time.Second,
+		}
+		states, _ := prior.Enumerate()
+		b.Run(fmt.Sprintf("hyps=%d", len(states)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				bel := belief.NewExact(states, belief.Config{})
+				bel.RecordSend(model.Send{Seq: 0, At: 0})
+				b.StartTimer()
+				bel.Update(time.Second, []packet.Ack{{Seq: 0, ReceivedAt: time.Second}})
+			}
+		})
+	}
+}
+
+// BenchmarkParticleVsExact compares the paper's exact rejection belief
+// against the proposed particle filter on the same inference problem.
+func BenchmarkParticleVsExact(b *testing.B) {
+	prior := model.Fig3Prior()
+	states, _ := prior.Enumerate()
+
+	run := func(b *testing.B, mk func() belief.Belief) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			bel := mk()
+			b.StartTimer()
+			for s := int64(0); s < 5; s++ {
+				at := time.Duration(s) * 2 * time.Second
+				bel.RecordSend(model.Send{Seq: s, At: at})
+				bel.Update(at+time.Second, []packet.Ack{{Seq: s, ReceivedAt: at + time.Second}})
+			}
+		}
+	}
+	b.Run("exact", func(b *testing.B) {
+		run(b, func() belief.Belief { return belief.NewExact(states, belief.Config{}) })
+	})
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("particle-%d", n), func(b *testing.B) {
+			seed := int64(0)
+			run(b, func() belief.Belief {
+				seed++
+				return belief.NewParticle(states, n, belief.Config{}, rand.New(rand.NewSource(seed)))
+			})
+		})
+	}
+}
+
+// BenchmarkCoexistence runs the §3.5 extension experiments: two
+// ISENDERs sharing a bottleneck, and an ISENDER against TCP Reno.
+func BenchmarkCoexistence(b *testing.B) {
+	b.Run("two-isenders", func(b *testing.B) {
+		printed := false
+		for i := 0; i < b.N; i++ {
+			res := experiments.RunTwoISenders(17, benchDuration)
+			if !printed {
+				printed = true
+				b.Logf("A=%.3f B=%.3f pkt/s Jain=%.3f drops=%d", res.ARate, res.BRate, res.JainIndex, res.Drops)
+			}
+		}
+	})
+	b.Run("isender-vs-tcp", func(b *testing.B) {
+		printed := false
+		for i := 0; i < b.N; i++ {
+			res := experiments.RunISenderVsTCP(19, benchDuration)
+			if !printed {
+				printed = true
+				b.Logf("isender=%.3f tcp=%.3f pkt/s drops=%d", res.ARate, res.BRate, res.Drops)
+			}
+		}
+	})
+}
+
+// BenchmarkPlannerDecide measures one action selection over a
+// Fig3-sized support, with and without the §3.3 policy cache.
+func BenchmarkPlannerDecide(b *testing.B) {
+	states, _ := model.Fig3Prior().Enumerate()
+	bel := belief.NewExact(states, belief.Config{})
+	bel.RecordSend(model.Send{Seq: 0, At: 0})
+	bel.Update(time.Second, []packet.Ack{{Seq: 0, ReceivedAt: time.Second}})
+	cfg := planner.DefaultConfig()
+
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			planner.Decide(bel.Support(), nil, time.Second, 1, cfg)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		pc := planner.NewPolicyCache(0)
+		for i := 0; i < b.N; i++ {
+			pc.Decide(bel.Support(), nil, time.Second, 1, cfg)
+		}
+	})
+}
+
+// BenchmarkPlannerHypotheses measures how planning cost scales with the
+// support truncation MaxHyps — the knob DESIGN.md calls out as the
+// planner's main approximation.
+func BenchmarkPlannerHypotheses(b *testing.B) {
+	states, _ := model.Fig3Prior().Enumerate()
+	bel := belief.NewExact(states, belief.Config{})
+	for _, k := range []int{16, 64, 256, 1024} {
+		cfg := planner.DefaultConfig()
+		cfg.MaxHyps = k
+		b.Run(fmt.Sprintf("maxhyps=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				planner.Decide(bel.Support(), nil, 0, 0, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkUtilityKappa is the ablation for the discount-timescale
+// substitution recorded in DESIGN.md: Figure 3's α=1 run under
+// different κ, reporting drops caused (the paper's no-overflow claim
+// needs a near-linear utility).
+func BenchmarkUtilityKappa(b *testing.B) {
+	for _, kappa := range []time.Duration{time.Second, 10 * time.Second, 60 * time.Second} {
+		b.Run(fmt.Sprintf("kappa=%s", kappa), func(b *testing.B) {
+			printed := false
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.Fig3Config(1.0, 42, benchDuration)
+				cfg.Utility = utility.Config{Alpha: 1, Kappa: kappa}
+				res := experiments.RunISender(cfg)
+				if !printed {
+					printed = true
+					b.Logf("kappa=%v: drops=%d sent=%d acked=%d",
+						kappa, res.OwnBufferDrops+res.CrossBufferDrops, res.Sent, res.Acked)
+				}
+			}
+		})
+	}
+}

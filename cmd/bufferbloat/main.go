@@ -1,0 +1,62 @@
+// Command bufferbloat reproduces the paper's Figure 1: round-trip time
+// during a TCP download over a deeply buffered cellular-like link.
+//
+// Usage:
+//
+//	bufferbloat [-duration 250s] [-seed 3] [-buffer 2097152] [-variant reno] [-tsv] [-claims]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"modelcc/internal/experiments"
+	"modelcc/internal/tcp"
+)
+
+func main() {
+	duration := flag.Duration("duration", 250*time.Second, "virtual run length")
+	seed := flag.Int64("seed", 3, "trace generator seed")
+	buffer := flag.Int("buffer", 2<<20, "link buffer in bytes")
+	variant := flag.String("variant", "reno", "tcp variant: tahoe, reno, newreno")
+	tsv := flag.Bool("tsv", false, "emit raw RTT TSV instead of the plot")
+	claims := flag.Bool("claims", false, "check the figure's qualitative claims (exit 1 on failure)")
+	flag.Parse()
+
+	var v tcp.Variant
+	switch *variant {
+	case "tahoe":
+		v = tcp.Tahoe
+	case "reno":
+		v = tcp.Reno
+	case "newreno":
+		v = tcp.NewReno
+	default:
+		fmt.Fprintf(os.Stderr, "bufferbloat: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	cfg := experiments.Fig1Config{
+		Variant:     v,
+		Duration:    *duration,
+		BufferBytes: *buffer,
+		Seed:        *seed,
+	}
+	res := experiments.RunFig1(cfg)
+
+	if *tsv {
+		fmt.Print(res.RTT.TSV())
+	} else {
+		fmt.Print(res.Render())
+	}
+	if *claims {
+		report, ok := experiments.Fig1Claims(res, 50*time.Millisecond)
+		fmt.Println()
+		fmt.Print(report)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package modelcc is a from-scratch Go reproduction of "End-to-End
+// Transmission Control by Modeling Uncertainty about the Network State"
+// (Winstein & Balakrishnan, HotNets 2011): model-based congestion
+// control in which the endpoint maintains a probability distribution
+// over possible network configurations and at every moment takes the
+// action maximizing the expected value of an explicit utility function.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every figure.
+package modelcc

@@ -1,0 +1,94 @@
+// Quickstart: build an ISENDER by hand — a prior, a utility function, a
+// planner — and run it against a ground-truth network it has never seen,
+// watching the posterior collapse onto the true parameters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/core"
+	"modelcc/internal/model"
+	"modelcc/internal/packet"
+	"modelcc/internal/planner"
+	"modelcc/internal/utility"
+)
+
+func main() {
+	// 1. The sender's uncertainty: link speed between 8 and 20 kbit/s,
+	//    buffer fullness unknown. (The paper's prior, simplified.)
+	// FullnessSteps 9 puts every whole-packet fullness (0..8 packets)
+	// on the grid: like the paper, the prior must include the truth as
+	// one possibility or rejection sampling will (correctly) eliminate
+	// every hypothesis.
+	prior := model.Prior{
+		LinkRate:      model.PriorRange{Lo: 8000, Hi: 20000, N: 13},
+		BufferCapBits: model.PriorRange{Lo: 96000, Hi: 96000, N: 1},
+		FullnessSteps: 9,
+	}
+	states, _ := prior.Enumerate()
+	bel := belief.NewExact(states, belief.Config{})
+
+	// 2. The explicit utility function the sender maximizes.
+	util := utility.Default() // bits discounted by delivery delay
+
+	// 3. The planner: "send now" vs "sleep until t", argmax expected
+	//    utility over the belief.
+	plan := planner.DefaultConfig()
+	plan.Util = util
+	sender := core.NewSender(bel, plan)
+
+	// 4. The true network the sender must discover: 12 kbit/s, buffer
+	//    initially holding 3 packets of backlog.
+	actual := model.Params{LinkRate: 12000, BufferCapBits: 96000, InitFullBits: 36000}
+	truth := model.NewTruth(actual, false, model.GateFixed, 0, rand.New(rand.NewSource(7)))
+
+	fmt.Println("time     action            posterior E[link]   hypotheses")
+	now := time.Duration(0)
+	var inject []model.Send
+	act := sender.Wake(now, nil)
+	inject = append(inject, act.Sends...)
+	wakeAt := act.WakeAt
+
+	for now < 30*time.Second {
+		next := 30 * time.Second
+		if wakeAt > now && wakeAt < next {
+			next = wakeAt
+		}
+		if tn := truth.NextTransition(); tn > now && tn < next {
+			next = tn
+		}
+		evs := truth.AdvanceTo(next, inject)
+		inject = inject[:0]
+		now = next
+
+		var acks []packet.Ack
+		for _, ev := range evs {
+			if ev.Kind == model.OwnDelivered {
+				acks = append(acks, packet.Ack{Seq: ev.Seq, ReceivedAt: ev.At})
+			}
+		}
+		if len(acks) > 0 || now >= wakeAt {
+			act = sender.Wake(now, acks)
+			inject = append(inject, act.Sends...)
+			if act.WakeAt <= now {
+				act.WakeAt = now + 10*time.Millisecond
+			}
+			wakeAt = act.WakeAt
+
+			e := sender.Estimates()
+			what := "sleep"
+			if len(act.Sends) > 0 {
+				what = fmt.Sprintf("send seq %d", act.Sends[0].Seq)
+			}
+			fmt.Printf("%7.2fs  %-16s  %8.0f bit/s   %d\n",
+				now.Seconds(), what, float64(e.ELinkRate), e.N)
+		}
+	}
+	fmt.Printf("\nsent %d packets, %d acked; true link was %v\n",
+		sender.Sent, sender.Acked, actual.LinkRate)
+}

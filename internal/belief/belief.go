@@ -1,0 +1,221 @@
+// Package belief maintains the sender's probability distribution over
+// possible network configurations (§3.2).
+//
+// Two implementations are provided:
+//
+//   - Exact: the paper's approach — a weighted list of every surviving
+//     discrete configuration. Nondeterministic elements fork hypotheses;
+//     observations reject inconsistent ones ("the sequential application
+//     of Bayes' theorem"); identical states are compacted back together.
+//
+//   - Particle: the paper's suggested scalable alternative (§3.2, §5 —
+//     "approximate techniques of Bayesian inference ... such as
+//     Markov-chain Monte Carlo and belief compression"): a fixed-size
+//     particle filter with likelihood weighting and systematic
+//     resampling.
+//
+// Both satisfy Belief, so the planner and the ISENDER are agnostic to
+// which is in use.
+package belief
+
+import (
+	"math"
+	"time"
+
+	"modelcc/internal/model"
+	"modelcc/internal/packet"
+)
+
+// Hypothesis is one weighted network configuration.
+type Hypothesis struct {
+	// S is the configuration's state.
+	S model.State
+	// W is its posterior probability mass.
+	W float64
+}
+
+// UpdateStats reports what one Bayesian update did, for instrumentation
+// and the scalability benchmarks.
+type UpdateStats struct {
+	// Branches is the number of weighted branches generated before
+	// rejection.
+	Branches int
+	// Rejected is the number of branches whose observations were
+	// inconsistent (weight exactly zero).
+	Rejected int
+	// Merged is the number of branches absorbed by compaction.
+	Merged int
+	// Floored is the number of branches dropped by the weight floor or
+	// the max-hypotheses cap.
+	Floored int
+	// Relaxed counts segments where every hypothesis was rejected and
+	// Config.Relax kept the unconditioned posterior instead of
+	// panicking.
+	Relaxed int
+	// N is the number of hypotheses after the update.
+	N int
+}
+
+// Belief is the sender's uncertainty about the network.
+type Belief interface {
+	// RecordSend tells the belief the sender injected a packet; the
+	// send takes effect at the next Update whose time covers it.
+	RecordSend(s model.Send)
+	// Update advances every hypothesis to now and conditions on the
+	// acknowledgments received since the previous update.
+	Update(now time.Duration, acks []packet.Ack) UpdateStats
+	// Support returns the current weighted hypotheses (compacted;
+	// weights sum to 1). The slice is owned by the belief: treat it as
+	// read-only and do not retain it across updates.
+	Support() []Hypothesis
+	// PendingSends returns sends recorded but not yet folded into the
+	// hypotheses, oldest first. The planner replays them in rollouts so
+	// back-to-back send decisions within one wakeup see each other.
+	PendingSends() []model.Send
+	// Now reports the time of the last update.
+	Now() time.Duration
+}
+
+// Config tunes the exact belief's resource bounds and observation
+// matching.
+type Config struct {
+	// TimeTol is the tolerance when matching a predicted delivery time
+	// against an observed acknowledgment time. The ground truth runs the
+	// same mechanics as the hypotheses, so the default is tight: 1 ms.
+	TimeTol time.Duration
+	// SoftSigma, when positive, replaces hard rejection of timing
+	// mismatches with a Gaussian likelihood exp(-½(Δt/σ)²). The paper's
+	// simulator observes its own mechanics exactly, so hard rejection
+	// suffices there; against networks the model cannot represent
+	// exactly — another ISENDER sharing the bottleneck (§3.5), or a
+	// real UDP path with OS scheduling jitter — every hypothesis would
+	// be rejected. Soft matching is the standard likelihood-smoothing
+	// fix and degrades gracefully to the paper's behaviour as σ → 0.
+	SoftSigma time.Duration
+	// MinWeight drops hypotheses below this post-normalization mass.
+	MinWeight float64
+	// MaxHyps caps the hypothesis count; the lowest-weight survivors are
+	// dropped first. The paper notes exact rejection sampling is
+	// "limited computationally" beyond a few million configurations —
+	// the cap keeps worst cases bounded rather than aborting the run.
+	MaxHyps int
+	// Relax, when true, makes an all-hypotheses-rejected update keep
+	// the prior-update posterior (counting it in UpdateStats.Relaxed on
+	// the implementations that track it) instead of panicking. Used by
+	// the model-mismatch experiments; the default panic is the right
+	// behaviour when the prior is supposed to contain the truth.
+	Relax bool
+}
+
+// DefaultConfig returns the bounds used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		TimeTol:   time.Millisecond,
+		MinWeight: 1e-9,
+		MaxHyps:   1 << 18, // 262,144
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.TimeTol <= 0 {
+		c.TimeTol = d.TimeTol
+	}
+	if c.MinWeight <= 0 {
+		c.MinWeight = d.MinWeight
+	}
+	if c.MaxHyps <= 0 {
+		c.MaxHyps = d.MaxHyps
+	}
+	return c
+}
+
+// likelihood weights one branch's predicted events against the observed
+// acknowledgments: an acknowledged prediction contributes 1-p (the packet
+// survived last-mile LOSS), an unacknowledged past delivery contributes p
+// (it was lost), and a timing mismatch rejects the branch outright.
+// matched reports how many acknowledgments the branch explained; the
+// caller rejects branches with matched < len(ackBySeq) — an
+// acknowledgment the branch cannot explain is inconsistent. Each sequence
+// number is delivered at most once per run, so counting suffices.
+func likelihood(events []model.Event, ackBySeq map[int64]time.Duration, p float64, cfg Config) (w float64, matched int) {
+	w = 1.0
+	for _, ev := range events {
+		switch ev.Kind {
+		case model.OwnDelivered:
+			at, ok := ackBySeq[ev.Seq]
+			if !ok {
+				// Predicted delivered, never acknowledged: lost at the
+				// last mile.
+				w *= p
+				if w == 0 {
+					return 0, matched
+				}
+				continue
+			}
+			diff := at - ev.At
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > cfg.TimeTol {
+				return 0, matched // right packet, wrong time
+			}
+			matched++
+			w *= 1 - p
+			if w == 0 {
+				return 0, matched
+			}
+		case model.OwnBufferDrop:
+			if _, ok := ackBySeq[ev.Seq]; ok {
+				return 0, matched // predicted buffer-dropped, yet acknowledged
+			}
+		}
+	}
+	return w, matched
+}
+
+// softLikelihood is the soft-matching counterpart used against networks
+// the model cannot represent exactly (real sockets, a competing
+// ISENDER). It differs from the exact rule in three ways, all of which
+// degrade to the hard rule as σ → 0:
+//
+//   - timing mismatches are Gaussian-weighted, not rejected;
+//   - acks are matched globally by sequence number (ackAll includes
+//     recently seen acks), so a prediction and its acknowledgment that
+//     straddle a segment or update boundary still pair up;
+//   - a prediction with no ack is held "pending" (neutral weight)
+//     within a grace window of now — on a real path the ack may simply
+//     not have been read yet — and afterwards weighted by the loss
+//     probability floored at softMissFloor, because real paths lose
+//     packets even when the hypothesis says p = 0.
+func softLikelihood(events []model.Event, ackAll map[int64]time.Duration, now time.Duration, p float64, cfg Config) float64 {
+	const softMissFloor = 0.01
+	sigma := cfg.SoftSigma.Seconds()
+	grace := 4 * cfg.SoftSigma
+	w := 1.0
+	for _, ev := range events {
+		switch ev.Kind {
+		case model.OwnDelivered:
+			at, ok := ackAll[ev.Seq]
+			if !ok {
+				if now-ev.At <= grace {
+					continue // pending: judge on a later update
+				}
+				miss := p
+				if miss < softMissFloor {
+					miss = softMissFloor
+				}
+				w *= miss
+				continue
+			}
+			diff := (at - ev.At).Seconds()
+			z := diff / sigma
+			w *= math.Exp(-0.5*z*z) * (1 - p)
+		case model.OwnBufferDrop:
+			if _, ok := ackAll[ev.Seq]; ok {
+				w *= 1e-12 // crushing, not fatal: occupancy may be slightly off
+			}
+		}
+	}
+	return w
+}

@@ -1,0 +1,72 @@
+package belief
+
+import (
+	"modelcc/internal/units"
+)
+
+// Estimates summarizes a posterior for experiment reporting: posterior
+// means of the unknown parameters and the probability the pinger is
+// currently on. The ISENDER itself never uses point estimates — it plans
+// against the full distribution — but the figures report them.
+type Estimates struct {
+	// N is the number of distinct hypotheses.
+	N int
+	// PPingerOn is the posterior probability the cross-traffic gate is
+	// connected.
+	PPingerOn float64
+	// ELinkRate is the posterior mean link speed.
+	ELinkRate units.BitRate
+	// ECrossRate is the posterior mean cross-traffic rate.
+	ECrossRate units.BitRate
+	// ELossProb is the posterior mean stochastic loss rate.
+	ELossProb float64
+	// EBufferCap is the posterior mean buffer capacity in bits.
+	EBufferCap float64
+	// EQueueBits is the posterior mean current queue occupancy in bits
+	// (including the in-service packet).
+	EQueueBits float64
+	// MAPWeight is the weight of the heaviest hypothesis.
+	MAPWeight float64
+}
+
+// Summarize computes posterior summaries over a support set.
+func Summarize(hyps []Hypothesis) Estimates {
+	var e Estimates
+	e.N = len(hyps)
+	for _, h := range hyps {
+		w := h.W
+		if h.S.PingerOn {
+			e.PPingerOn += w
+		}
+		e.ELinkRate += units.BitRate(w * float64(h.S.P.LinkRate))
+		e.ECrossRate += units.BitRate(w * float64(h.S.P.CrossRate))
+		e.ELossProb += w * h.S.P.LossProb
+		e.EBufferCap += w * float64(h.S.P.BufferCapBits)
+		e.EQueueBits += w * float64(h.S.SystemBits())
+		if w > e.MAPWeight {
+			e.MAPWeight = w
+		}
+	}
+	return e
+}
+
+// TotalWeight sums the hypothesis weights (should always be ~1; exposed
+// for the property tests).
+func TotalWeight(hyps []Hypothesis) float64 {
+	var t float64
+	for _, h := range hyps {
+		t += h.W
+	}
+	return t
+}
+
+// MAP returns the maximum a posteriori hypothesis.
+func MAP(hyps []Hypothesis) Hypothesis {
+	var best Hypothesis
+	for _, h := range hyps {
+		if h.W > best.W {
+			best = h
+		}
+	}
+	return best
+}

@@ -1,0 +1,268 @@
+package belief
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"modelcc/internal/model"
+	"modelcc/internal/packet"
+)
+
+// Exact is the paper's rejection-sampling belief: it maintains "a list of
+// all possible configurations of the network and their corresponding
+// probability" (§3.2). Every Update advances each configuration,
+// enumerating forks at nondeterministic elements, rejects configurations
+// inconsistent with the observed acknowledgments, renormalizes, and
+// compacts states that have become identical.
+type Exact struct {
+	cfg     Config
+	hyps    []Hypothesis
+	now     time.Duration
+	pending []model.Send
+	// recent retains acknowledgments for a short window so soft
+	// matching can pair predictions with acks across update
+	// boundaries; unused in hard mode.
+	recent map[int64]time.Duration
+	// Cum accumulates stats over the belief's lifetime.
+	Cum UpdateStats
+}
+
+// recentAckWindow bounds how long soft matching remembers
+// acknowledgments.
+const recentAckWindow = 5 * time.Second
+
+// NewExact builds an exact belief over the given equally weighted initial
+// states (typically from Prior.Enumerate).
+func NewExact(states []model.State, cfg Config) *Exact {
+	if len(states) == 0 {
+		panic("belief: empty prior")
+	}
+	w := 1 / float64(len(states))
+	hyps := make([]Hypothesis, len(states))
+	for i, s := range states {
+		hyps[i] = Hypothesis{S: s.Clone(), W: w}
+	}
+	return &Exact{
+		cfg:    cfg.withDefaults(),
+		hyps:   hyps,
+		recent: make(map[int64]time.Duration),
+	}
+}
+
+// Now implements Belief.
+func (b *Exact) Now() time.Duration { return b.now }
+
+// Support implements Belief.
+func (b *Exact) Support() []Hypothesis { return b.hyps }
+
+// PendingSends implements Belief.
+func (b *Exact) PendingSends() []model.Send { return b.pending }
+
+// RecordSend implements Belief. Sends must be recorded in time order.
+func (b *Exact) RecordSend(s model.Send) {
+	if n := len(b.pending); n > 0 && b.pending[n-1].At > s.At {
+		panic("belief: sends recorded out of order")
+	}
+	b.pending = append(b.pending, s)
+}
+
+// Update implements Belief.
+//
+// The window [previous update, now] is processed in segments bounded by
+// toggle opportunities: forking doubles the population at most once per
+// segment, and compaction + flooring run after every segment. Without
+// this interleaving a long quiet window would enumerate 2^opportunities
+// branches before any chance to merge them — compaction must race the
+// forks, exactly as the paper describes states being "compacted back
+// into one" as soon as they coincide (§3.2).
+//
+// Acknowledgment matching is segment-local: an ack can only match a
+// delivery event in the segment containing its receive time, because
+// predicted and observed times agree to within TimeTol, which is far
+// smaller than a segment.
+func (b *Exact) Update(now time.Duration, acks []packet.Ack) UpdateStats {
+	if now < b.now {
+		panic(fmt.Sprintf("belief: update time %v precedes previous update %v", now, b.now))
+	}
+	// Consume the pending sends this window covers.
+	nSends := 0
+	for nSends < len(b.pending) && b.pending[nSends].At <= now {
+		nSends++
+	}
+	sends := b.pending[:nSends]
+	sort.Slice(acks, func(i, j int) bool { return acks[i].ReceivedAt < acks[j].ReceivedAt })
+
+	soft := b.cfg.SoftSigma > 0
+	if soft {
+		for _, a := range acks {
+			b.recent[a.Seq] = a.ReceivedAt
+		}
+		for seq, at := range b.recent {
+			if at < now-recentAckWindow {
+				delete(b.recent, seq)
+			}
+		}
+	}
+
+	tick := model.DefaultSwitchTick
+	if len(b.hyps) > 0 && b.hyps[0].S.SwitchTick > 0 {
+		tick = b.hyps[0].S.SwitchTick
+	}
+
+	var stats UpdateStats
+	si, ai := 0, 0
+	for segStart := b.now; segStart < now || segStart == b.now; {
+		segEnd := now
+		if boundary := segStart - segStart%tick + tick; boundary < segEnd {
+			segEnd = boundary
+		}
+		// Sends and acks belonging to this segment.
+		sHi := si
+		for sHi < len(sends) && sends[sHi].At <= segEnd {
+			sHi++
+		}
+		aHi := ai
+		for aHi < len(acks) && acks[aHi].ReceivedAt <= segEnd {
+			aHi++
+		}
+		segAcks := make(map[int64]time.Duration, aHi-ai)
+		for _, a := range acks[ai:aHi] {
+			segAcks[a.Seq] = a.ReceivedAt
+		}
+
+		next := make([]Hypothesis, 0, len(b.hyps)*2)
+		var total float64
+		for _, h := range b.hyps {
+			for _, br := range model.AdvanceEnum(h.S, segEnd, sends[si:sHi]) {
+				stats.Branches++
+				var lw float64
+				if soft {
+					lw = softLikelihood(br.Events, b.recent, now, br.S.P.LossProb, b.cfg)
+				} else {
+					var matched int
+					lw, matched = likelihood(br.Events, segAcks, br.S.P.LossProb, b.cfg)
+					if matched < len(segAcks) {
+						lw = 0 // an acknowledgment the branch cannot explain
+					}
+				}
+				if lw == 0 {
+					stats.Rejected++
+					continue
+				}
+				w := h.W * br.W * lw
+				if w <= 0 {
+					stats.Rejected++
+					continue
+				}
+				next = append(next, Hypothesis{S: br.S, W: w})
+				total += w
+			}
+		}
+		if total == 0 {
+			if b.cfg.Relax {
+				// Keep the pre-segment posterior, advanced without
+				// conditioning: re-run the advance and accept every
+				// branch.
+				stats.Relaxed++
+				next = next[:0]
+				total = 0
+				for _, h := range b.hyps {
+					for _, br := range model.AdvanceEnum(h.S, segEnd, sends[si:sHi]) {
+						w := h.W * br.W
+						if w <= 0 {
+							continue
+						}
+						next = append(next, Hypothesis{S: br.S, W: w})
+						total += w
+					}
+				}
+			} else {
+				// Every configuration was rejected: the prior did not
+				// contain the truth (or tolerances are too tight).
+				// Failing loudly is deliberate — silently resetting
+				// the belief would mask a broken model, the exact
+				// failure this architecture is meant to surface.
+				panic("belief: all hypotheses rejected; the prior cannot explain the observations")
+			}
+		}
+		for i := range next {
+			next[i].W /= total
+		}
+		next, merged := compact(next)
+		stats.Merged += merged
+		next, floored := floorAndCap(next, b.cfg.MinWeight, b.cfg.MaxHyps)
+		stats.Floored += floored
+		b.hyps = next
+
+		si, ai = sHi, aHi
+		if segEnd == now {
+			break
+		}
+		segStart = segEnd
+	}
+
+	b.now = now
+	b.pending = append(b.pending[:0], b.pending[nSends:]...)
+	stats.N = len(b.hyps)
+	b.Cum.Branches += stats.Branches
+	b.Cum.Rejected += stats.Rejected
+	b.Cum.Merged += stats.Merged
+	b.Cum.Floored += stats.Floored
+	b.Cum.Relaxed += stats.Relaxed
+	b.Cum.N = stats.N
+	return stats
+}
+
+// compact merges hypotheses with identical canonical state keys, summing
+// their weights — the paper's "compacted back into one state" (§3.2). It
+// reports how many hypotheses were absorbed.
+func compact(hyps []Hypothesis) ([]Hypothesis, int) {
+	byKey := make(map[string]int, len(hyps))
+	out := hyps[:0]
+	merged := 0
+	for _, h := range hyps {
+		k := h.S.Key()
+		if i, ok := byKey[k]; ok {
+			out[i].W += h.W
+			merged++
+			continue
+		}
+		byKey[k] = len(out)
+		out = append(out, h)
+	}
+	return out, merged
+}
+
+// floorAndCap drops hypotheses below minW, keeps at most maxN of the
+// heaviest, and renormalizes. It reports how many were dropped.
+func floorAndCap(hyps []Hypothesis, minW float64, maxN int) ([]Hypothesis, int) {
+	out := hyps[:0]
+	dropped := 0
+	for _, h := range hyps {
+		if h.W < minW {
+			dropped++
+			continue
+		}
+		out = append(out, h)
+	}
+	if len(out) == 0 {
+		// The floor annihilated everything (pathological minW); keep the
+		// original set rather than dying.
+		out = hyps
+		dropped = 0
+	}
+	if len(out) > maxN {
+		sort.Slice(out, func(i, j int) bool { return out[i].W > out[j].W })
+		dropped += len(out) - maxN
+		out = out[:maxN]
+	}
+	var total float64
+	for _, h := range out {
+		total += h.W
+	}
+	for i := range out {
+		out[i].W /= total
+	}
+	return out, dropped
+}

@@ -1,0 +1,244 @@
+package belief
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"modelcc/internal/model"
+	"modelcc/internal/packet"
+)
+
+// Particle is the scalable belief the paper points to as future work
+// (§3.2, §5): instead of enumerating every configuration, it carries N
+// samples ("particles"). Each update advances every particle with
+// *sampled* gate toggles, reweights it by the likelihood of the observed
+// acknowledgments, and resamples (systematic resampling) when the
+// effective sample size collapses.
+//
+// Compared to Exact it trades exactness for a cost independent of how
+// bushy the fork tree is.
+type Particle struct {
+	cfg       Config
+	rng       *rand.Rand
+	particles []Hypothesis
+	now       time.Duration
+	pending   []model.Send
+	recent    map[int64]time.Duration // soft-mode ack memory
+	compacted []Hypothesis            // cache for Support
+	dirty     bool
+
+	// Resamples counts resampling rounds, for instrumentation.
+	Resamples int
+}
+
+// NewParticle draws n particles uniformly from the given prior states.
+// With n >= len(states) every prior state is included at least once by
+// stratified assignment, which keeps the true configuration in the
+// initial particle set whenever the prior contains it.
+func NewParticle(states []model.State, n int, cfg Config, rng *rand.Rand) *Particle {
+	if len(states) == 0 {
+		panic("belief: empty prior")
+	}
+	if n <= 0 {
+		panic("belief: particle count must be positive")
+	}
+	w := 1 / float64(n)
+	ps := make([]Hypothesis, n)
+	for i := 0; i < n; i++ {
+		var src model.State
+		if n >= len(states) {
+			// Stratified: cycle the prior, then fill the remainder
+			// randomly.
+			if i < len(states) {
+				src = states[i]
+			} else {
+				src = states[rng.Intn(len(states))]
+			}
+		} else {
+			src = states[rng.Intn(len(states))]
+		}
+		ps[i] = Hypothesis{S: src.Clone(), W: w}
+	}
+	return &Particle{cfg: cfg.withDefaults(), rng: rng, particles: ps, dirty: true}
+}
+
+// Now implements Belief.
+func (b *Particle) Now() time.Duration { return b.now }
+
+// PendingSends implements Belief.
+func (b *Particle) PendingSends() []model.Send { return b.pending }
+
+// RecordSend implements Belief.
+func (b *Particle) RecordSend(s model.Send) {
+	if n := len(b.pending); n > 0 && b.pending[n-1].At > s.At {
+		panic("belief: sends recorded out of order")
+	}
+	b.pending = append(b.pending, s)
+}
+
+// NumParticles reports the particle count.
+func (b *Particle) NumParticles() int { return len(b.particles) }
+
+// Support implements Belief: particles compacted by state key so the
+// planner's cost scales with distinct states, not the particle count.
+func (b *Particle) Support() []Hypothesis {
+	if b.dirty {
+		cp := make([]Hypothesis, len(b.particles))
+		copy(cp, b.particles)
+		cp, _ = compact(cp)
+		b.compacted = cp
+		b.dirty = false
+	}
+	return b.compacted
+}
+
+// Update implements Belief.
+func (b *Particle) Update(now time.Duration, acks []packet.Ack) UpdateStats {
+	if now < b.now {
+		panic(fmt.Sprintf("belief: update time %v precedes previous update %v", now, b.now))
+	}
+	nSends := 0
+	for nSends < len(b.pending) && b.pending[nSends].At <= now {
+		nSends++
+	}
+	sends := b.pending[:nSends]
+
+	ackBySeq := make(map[int64]time.Duration, len(acks))
+	for _, a := range acks {
+		ackBySeq[a.Seq] = a.ReceivedAt
+	}
+	soft := b.cfg.SoftSigma > 0
+	if soft {
+		if b.recent == nil {
+			b.recent = make(map[int64]time.Duration)
+		}
+		for _, a := range acks {
+			b.recent[a.Seq] = a.ReceivedAt
+		}
+		for seq, at := range b.recent {
+			if at < now-recentAckWindow {
+				delete(b.recent, seq)
+			}
+		}
+	}
+
+	var stats UpdateStats
+	var total float64
+	prevW := make([]float64, len(b.particles))
+	for i := range b.particles {
+		p := &b.particles[i]
+		prevW[i] = p.W
+		evs := advanceSampled(&p.S, now, sends, b.rng)
+		stats.Branches++
+		var lw float64
+		if soft {
+			lw = softLikelihood(evs, b.recent, now, p.S.P.LossProb, b.cfg)
+		} else {
+			var matched int
+			lw, matched = likelihood(evs, ackBySeq, p.S.P.LossProb, b.cfg)
+			if matched < len(ackBySeq) {
+				lw = 0
+			}
+		}
+		if lw == 0 {
+			stats.Rejected++
+			p.W = 0
+			continue
+		}
+		p.W *= lw
+		total += p.W
+	}
+	if total == 0 {
+		if b.cfg.Relax {
+			// Keep the advanced particles with their previous weights.
+			stats.Relaxed++
+			for i := range b.particles {
+				b.particles[i].W = prevW[i]
+				total += prevW[i]
+			}
+		} else {
+			panic("belief: all particles rejected; increase particle count or widen the prior")
+		}
+	}
+	for i := range b.particles {
+		b.particles[i].W /= total
+	}
+
+	// Resample when the effective sample size drops below half.
+	if ess(b.particles) < float64(len(b.particles))/2 {
+		b.systematicResample()
+		b.Resamples++
+	}
+
+	b.now = now
+	b.pending = append(b.pending[:0], b.pending[nSends:]...)
+	b.dirty = true
+	stats.N = len(b.Support())
+	return stats
+}
+
+// advanceSampled advances one particle to `until`, drawing gate toggles
+// at the same discretized opportunities AdvanceEnum forks at.
+func advanceSampled(s *model.State, until time.Duration, sends []model.Send, rng *rand.Rand) []model.Event {
+	var evs []model.Event
+	si := 0
+	for s.SwitchTick > 0 && s.P.MeanSwitch > 0 && s.NextToggle <= until {
+		at := s.NextToggle
+		hi := si
+		for hi < len(sends) && sends[hi].At <= at {
+			hi++
+		}
+		s.Run(at, sends[si:hi], &evs)
+		si = hi
+		s.NextToggle += s.SwitchTick
+		if rng.Float64() < toggleProbDur(s.SwitchTick, s.P.MeanSwitch) {
+			s.Toggle()
+		}
+	}
+	s.Run(until, sends[si:], &evs)
+	return evs
+}
+
+// toggleProbDur mirrors model's internal toggle probability; duplicated
+// here because the model package deliberately keeps it unexported (it is
+// an inference discretization detail, not part of the network model).
+func toggleProbDur(tick, mean time.Duration) float64 {
+	if mean <= 0 || tick <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-tick.Seconds()/mean.Seconds())
+}
+
+// ess computes the effective sample size 1/Σw².
+func ess(ps []Hypothesis) float64 {
+	var sumSq float64
+	for _, p := range ps {
+		sumSq += p.W * p.W
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return 1 / sumSq
+}
+
+// systematicResample redraws the particle population with systematic
+// (low-variance) resampling and resets weights to uniform.
+func (b *Particle) systematicResample() {
+	n := len(b.particles)
+	out := make([]Hypothesis, 0, n)
+	step := 1.0 / float64(n)
+	u := b.rng.Float64() * step
+	var cum float64
+	i := 0
+	for j := 0; j < n; j++ {
+		target := u + float64(j)*step
+		for cum+b.particles[i].W < target && i < n-1 {
+			cum += b.particles[i].W
+			i++
+		}
+		out = append(out, Hypothesis{S: b.particles[i].S.Clone(), W: step})
+	}
+	b.particles = out
+}

@@ -1,0 +1,133 @@
+package belief
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"modelcc/internal/model"
+	"modelcc/internal/packet"
+)
+
+func TestParticleConvergesToTrueRate(t *testing.T) {
+	states := twoRatePrior(12000, 24000)
+	b := NewParticle(states, 200, Config{}, rand.New(rand.NewSource(3)))
+	if b.NumParticles() != 200 {
+		t.Fatalf("particles = %d", b.NumParticles())
+	}
+
+	// Several packets, all acknowledged at 12 kbit/s timings.
+	now := time.Duration(0)
+	for i := int64(0); i < 5; i++ {
+		at := time.Duration(i) * 3 * time.Second
+		b.RecordSend(model.Send{Seq: i, At: at})
+		ackAt := deliveryTime(at, 12000)
+		now = ackAt
+		b.Update(now, []packet.Ack{{Seq: i, ReceivedAt: ackAt}})
+	}
+	e := Summarize(b.Support())
+	if e.ELinkRate < 11999.99 || e.ELinkRate > 12000.01 {
+		t.Errorf("posterior mean rate = %v, want 12000 (wrong-rate particles all rejected)", e.ELinkRate)
+	}
+	if w := TotalWeight(b.Support()); w < 0.999999 || w > 1.000001 {
+		t.Errorf("weights sum to %v", w)
+	}
+}
+
+func TestParticleStratifiedInitIncludesAllPriorStates(t *testing.T) {
+	states := twoRatePrior(10000, 12000, 14000, 16000)
+	b := NewParticle(states, 16, Config{}, rand.New(rand.NewSource(1)))
+	seen := map[int32]bool{}
+	for _, h := range b.Support() {
+		seen[h.S.ParamsID] = true
+	}
+	for i := int32(0); i < 4; i++ {
+		if !seen[i] {
+			t.Errorf("prior state %d missing from stratified particle init", i)
+		}
+	}
+}
+
+func TestParticleResamples(t *testing.T) {
+	states := twoRatePrior(12000, 24000)
+	b := NewParticle(states, 100, Config{}, rand.New(rand.NewSource(9)))
+	// One decisive observation halves the population's weight mass to
+	// one side; ESS collapses and a resample must fire.
+	b.RecordSend(model.Send{Seq: 0, At: 0})
+	b.Update(time.Second, []packet.Ack{{Seq: 0, ReceivedAt: deliveryTime(0, 12000)}})
+	if b.Resamples == 0 {
+		t.Error("expected a resampling round after a decisive observation")
+	}
+	// After resampling every particle must carry the surviving rate.
+	for _, h := range b.Support() {
+		if h.S.P.LinkRate != 12000 {
+			t.Fatalf("resample kept a rejected particle: %v", h.S.P.LinkRate)
+		}
+	}
+}
+
+func TestParticleMatchesExactOnSmallProblem(t *testing.T) {
+	// On a two-hypothesis problem with a soft (loss-likelihood)
+	// observation, the particle posterior must approximate the exact
+	// posterior.
+	mk := func(p float64, id int32) model.State {
+		s := model.Initial(model.Params{LinkRate: 12000, BufferCapBits: 96000, LossProb: p}, false)
+		s.ParamsID = id
+		return s
+	}
+	prior := []model.State{mk(0, 0), mk(0.2, 1)}
+
+	exact := NewExact(prior, Config{})
+	part := NewParticle(prior, 4000, Config{}, rand.New(rand.NewSource(17)))
+	for i := int64(0); i < 3; i++ {
+		at := time.Duration(i) * 2 * time.Second
+		snd := model.Send{Seq: i, At: at}
+		exact.RecordSend(snd)
+		part.RecordSend(snd)
+		ackAt := deliveryTime(at, 12000)
+		ack := []packet.Ack{{Seq: i, ReceivedAt: ackAt}}
+		exact.Update(ackAt, ack)
+		part.Update(ackAt, ack)
+	}
+	we := Summarize(exact.Support()).ELossProb
+	wp := Summarize(part.Support()).ELossProb
+	diff := we - wp
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.03 {
+		t.Errorf("particle posterior E[p]=%v vs exact %v (diff %v)", wp, we, diff)
+	}
+}
+
+func TestParticlePanicsOnEmptyPrior(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty prior did not panic")
+		}
+	}()
+	NewParticle(nil, 10, Config{}, rand.New(rand.NewSource(1)))
+}
+
+func TestParticlePanicsOnZeroCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero particle count did not panic")
+		}
+	}()
+	NewParticle(twoRatePrior(12000), 0, Config{}, rand.New(rand.NewSource(1)))
+}
+
+func TestESS(t *testing.T) {
+	uniform := []Hypothesis{{W: 0.25}, {W: 0.25}, {W: 0.25}, {W: 0.25}}
+	if got := ess(uniform); got < 3.999 || got > 4.001 {
+		t.Errorf("ess(uniform 4) = %v, want 4", got)
+	}
+	degenerate := []Hypothesis{{W: 1}, {W: 0}, {W: 0}}
+	if got := ess(degenerate); got < 0.999 || got > 1.001 {
+		t.Errorf("ess(degenerate) = %v, want 1", got)
+	}
+	if got := ess([]Hypothesis{{W: 0}}); got != 0 {
+		t.Errorf("ess(zero) = %v", got)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"time"
+
+	"modelcc/internal/packet"
+)
+
+// Receiver is the paper's RECEIVER (§3.4): it accumulates packets and
+// conveys the received time and sequence number of each one back to the
+// sender. Like Sender it is clock-agnostic: the simulator calls Receive
+// with virtual time, the UDP transport with wall-clock offsets.
+type Receiver struct {
+	// Received counts packets accepted.
+	Received int64
+	// ReceivedBits counts payload bits accepted.
+	ReceivedBits int64
+	// Duplicates counts repeated sequence numbers (possible over real
+	// transports; the simulator never produces them).
+	Duplicates int64
+
+	seen map[int64]bool
+	// HighestSeq is the largest sequence number received, -1 initially.
+	HighestSeq int64
+}
+
+// NewReceiver returns an empty Receiver.
+func NewReceiver() *Receiver {
+	return &Receiver{seen: make(map[int64]bool), HighestSeq: -1}
+}
+
+// Receive accepts one packet at the given time and returns the
+// acknowledgment to convey to the sender.
+func (r *Receiver) Receive(p packet.Packet, at time.Duration) packet.Ack {
+	if r.seen[p.Seq] {
+		r.Duplicates++
+	} else {
+		r.seen[p.Seq] = true
+		r.Received++
+		r.ReceivedBits += p.Bits()
+		if p.Seq > r.HighestSeq {
+			r.HighestSeq = p.Seq
+		}
+	}
+	return packet.Ack{
+		Flow:       p.Flow,
+		Seq:        p.Seq,
+		ReceivedAt: at,
+		SentAt:     p.SentAt,
+	}
+}

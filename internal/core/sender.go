@@ -1,0 +1,113 @@
+// Package core is the paper's primary contribution: the ISENDER, an
+// endpoint that maintains a probability distribution over possible
+// network configurations and, at every wakeup, takes whichever action —
+// "send now" or "sleep until time t" — maximizes the expected value of
+// an explicitly supplied utility function (§3.2–3.3).
+//
+// The Sender is a pure state machine driven by Wake calls: it owns no
+// clock and no socket. The simulation experiments drive it against a
+// model.Truth (internal/experiments); the UDP transport drives the very
+// same type against the wall clock and real sockets
+// (internal/transport). That separation is the paper's architecture
+// made literal: the model and the utility function are first-class
+// objects handed to the endpoint, and everything else is plumbing.
+package core
+
+import (
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/model"
+	"modelcc/internal/packet"
+	"modelcc/internal/planner"
+)
+
+// Action is what a Sender decided to do at a wakeup.
+type Action struct {
+	// Sends are the packets to inject immediately, in order (the
+	// planner may choose to send several back to back; each decision
+	// saw the previous commitments).
+	Sends []model.Send
+	// WakeAt is the absolute time of the next self-scheduled wakeup.
+	// An acknowledgment arriving earlier should wake the sender early —
+	// the receiver "wakes up the sender for each packet" (§3.4).
+	WakeAt time.Duration
+}
+
+// Sender is the ISENDER endpoint.
+type Sender struct {
+	// Belief is the sender's uncertainty about the network; supplied,
+	// not owned, so callers choose Exact vs Particle.
+	Belief belief.Belief
+	// Plan configures the action search, including the utility function
+	// being maximized.
+	Plan planner.Config
+	// Cache, if non-nil, memoizes decisions by belief fingerprint
+	// (§3.3's precomputed-policy observation).
+	Cache *planner.PolicyCache
+	// MaxBurst caps how many packets one wakeup may emit; the planner
+	// naturally starts pacing after a few commitments, so the cap only
+	// guards pathological configurations.
+	MaxBurst int
+
+	nextSeq int64
+
+	// Sent counts packets emitted; Acked counts acknowledgments
+	// consumed; Wakes counts wakeups.
+	Sent  int64
+	Acked int64
+	Wakes int64
+}
+
+// NewSender returns an ISENDER over the given belief and plan.
+func NewSender(b belief.Belief, plan planner.Config) *Sender {
+	return &Sender{Belief: b, Plan: plan, MaxBurst: 32}
+}
+
+// NextSeq reports the next unused sequence number.
+func (s *Sender) NextSeq() int64 { return s.nextSeq }
+
+// Wake processes the acknowledgments received since the previous wakeup
+// (possibly none, for timer wakeups), updates the belief, and decides
+// what to do. Wake must be called with non-decreasing now.
+func (s *Sender) Wake(now time.Duration, acks []packet.Ack) Action {
+	s.Wakes++
+	s.Acked += int64(len(acks))
+	s.Belief.Update(now, acks)
+
+	var act Action
+	maxBurst := s.MaxBurst
+	if maxBurst <= 0 {
+		maxBurst = 32
+	}
+	for i := 0; i < maxBurst; i++ {
+		var d planner.Decision
+		if s.Cache != nil {
+			d = s.Cache.Decide(s.Belief.Support(), s.Belief.PendingSends(), now, s.nextSeq, s.Plan)
+		} else {
+			d = planner.Decide(s.Belief.Support(), s.Belief.PendingSends(), now, s.nextSeq, s.Plan)
+		}
+		if !d.SendNow {
+			act.WakeAt = d.WakeAt
+			return act
+		}
+		snd := model.Send{Seq: s.nextSeq, At: now}
+		s.nextSeq++
+		s.Sent++
+		s.Belief.RecordSend(snd)
+		act.Sends = append(act.Sends, snd)
+	}
+	// Burst cap reached while the planner still wanted to send;
+	// re-decide shortly rather than spinning.
+	grid := s.Plan.Grid
+	if grid <= 0 {
+		grid = planner.DefaultConfig().Grid
+	}
+	act.WakeAt = now + grid
+	return act
+}
+
+// Estimates summarizes the sender's current posterior (for reporting).
+func (s *Sender) Estimates() belief.Estimates {
+	return belief.Summarize(s.Belief.Support())
+}

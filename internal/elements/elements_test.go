@@ -1,0 +1,365 @@
+package elements
+
+import (
+	"testing"
+	"time"
+
+	"modelcc/internal/packet"
+	"modelcc/internal/sim"
+)
+
+// paper parameters used throughout: 12 kbit/s link, 1500-byte packets.
+const (
+	linkRate = 12000
+	pktBits  = packet.DefaultSizeBits
+)
+
+func send(n Node, flow packet.FlowID, seq int64, at time.Duration) {
+	n.Receive(packet.New(flow, seq, at))
+}
+
+func TestBottleneckServesAtLinkRate(t *testing.T) {
+	loop := sim.New(1)
+	col := NewCollector(loop)
+	buf, _ := NewBottleneck(loop, 10*pktBits, linkRate, col)
+
+	// Enqueue 5 packets at t=0; they should be delivered at 1s, 2s, ... 5s.
+	for i := int64(0); i < 5; i++ {
+		send(buf, packet.FlowSelf, i, 0)
+	}
+	loop.RunAll()
+
+	if len(col.Arrivals) != 5 {
+		t.Fatalf("delivered %d packets, want 5", len(col.Arrivals))
+	}
+	for i, a := range col.Arrivals {
+		want := time.Duration(i+1) * time.Second
+		if a.At != want {
+			t.Errorf("packet %d delivered at %v, want %v", i, a.At, want)
+		}
+		if a.Packet.Seq != int64(i) {
+			t.Errorf("packet %d out of order: seq %d", i, a.Packet.Seq)
+		}
+	}
+}
+
+func TestBufferTailDrop(t *testing.T) {
+	loop := sim.New(1)
+	col := NewCollector(loop)
+	// Capacity for exactly 8 packets: the paper's 96,000-bit buffer.
+	buf, _ := NewBottleneck(loop, 96000, linkRate, col)
+
+	for i := int64(0); i < 12; i++ {
+		send(buf, packet.FlowSelf, i, 0)
+	}
+	// At t=0 one packet immediately enters service, so the queue holds 8
+	// more; arrivals 9..11 are tail-dropped.
+	if got := buf.Drops[packet.FlowSelf]; got != 3 {
+		t.Fatalf("drops = %d, want 3", got)
+	}
+	loop.RunAll()
+	if len(col.Arrivals) != 9 {
+		t.Fatalf("delivered %d, want 9", len(col.Arrivals))
+	}
+	// Tail drop preserves the earliest packets.
+	for i, a := range col.Arrivals {
+		if a.Packet.Seq != int64(i) {
+			t.Errorf("arrival %d has seq %d, want %d", i, a.Packet.Seq, i)
+		}
+	}
+}
+
+func TestBufferPrefill(t *testing.T) {
+	loop := sim.New(1)
+	buf, _ := NewBottleneck(loop, 96000, linkRate, Discard)
+	buf.Prefill(96000, packet.FlowCross)
+	if buf.UsedBits() != 96000 {
+		t.Fatalf("prefill used = %d, want 96000", buf.UsedBits())
+	}
+	if buf.Len() != 8 {
+		t.Fatalf("prefill len = %d, want 8", buf.Len())
+	}
+	// Prefill never exceeds capacity even for awkward targets.
+	buf2, _ := NewBottleneck(loop, 96000, linkRate, Discard)
+	buf2.Prefill(95000, packet.FlowCross)
+	if buf2.UsedBits() > 96000 {
+		t.Fatalf("prefill overfilled: %d bits", buf2.UsedBits())
+	}
+}
+
+func TestThroughputDirectReceive(t *testing.T) {
+	loop := sim.New(1)
+	col := NewCollector(loop)
+	th := NewThroughput(loop, linkRate, col)
+	send(th, packet.FlowSelf, 0, 0)
+	loop.RunAll()
+	if len(col.Arrivals) != 1 || col.Arrivals[0].At != time.Second {
+		t.Fatalf("direct throughput: %+v", col.Arrivals)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	loop := sim.New(1)
+	col := NewCollector(loop)
+	d := NewDelay(loop, 250*time.Millisecond, col)
+	loop.Schedule(time.Second, func() { send(d, packet.FlowSelf, 0, loop.Now()) })
+	loop.RunAll()
+	if len(col.Arrivals) != 1 || col.Arrivals[0].At != 1250*time.Millisecond {
+		t.Fatalf("delay: %+v", col.Arrivals)
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	loop := sim.New(7)
+	cnt := NewCounter()
+	loss := NewLoss(loop, 0.2, cnt)
+	const n = 20000
+	for i := int64(0); i < n; i++ {
+		send(loss, packet.FlowSelf, i, 0)
+	}
+	got := float64(loss.Dropped[packet.FlowSelf]) / n
+	if got < 0.18 || got > 0.22 {
+		t.Errorf("empirical loss rate %.4f, want ~0.20", got)
+	}
+	if cnt.N[packet.FlowSelf]+loss.Dropped[packet.FlowSelf] != n {
+		t.Error("passed + dropped != sent")
+	}
+}
+
+func TestLossExtremes(t *testing.T) {
+	loop := sim.New(1)
+	cnt := NewCounter()
+	never := NewLoss(loop, 0, cnt)
+	always := NewLoss(loop, 1, cnt)
+	for i := int64(0); i < 100; i++ {
+		send(never, packet.FlowSelf, i, 0)
+		send(always, packet.FlowCross, i, 0)
+	}
+	if cnt.N[packet.FlowSelf] != 100 {
+		t.Error("p=0 lost packets")
+	}
+	if cnt.N[packet.FlowCross] != 0 {
+		t.Error("p=1 passed packets")
+	}
+}
+
+func TestLossPanicsOnBadProbability(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLoss(1.5) did not panic")
+		}
+	}()
+	NewLoss(sim.New(1), 1.5, Discard)
+}
+
+func TestJitter(t *testing.T) {
+	loop := sim.New(3)
+	col := NewCollector(loop)
+	j := NewJitter(loop, 0.5, time.Second, col)
+	const n = 2000
+	for i := int64(0); i < n; i++ {
+		send(j, packet.FlowSelf, i, 0)
+	}
+	loop.RunAll()
+	if len(col.Arrivals) != n {
+		t.Fatalf("jitter dropped packets: %d/%d", len(col.Arrivals), n)
+	}
+	frac := float64(j.Jittered) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("jittered fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestIntermittentGates(t *testing.T) {
+	loop := sim.New(5)
+	cnt := NewCounter()
+	g := NewIntermittent(loop, 10*time.Second, cnt)
+	// Feed one packet per 100ms for 200 virtual seconds; roughly half
+	// should pass (gate alternates between connected/disconnected with
+	// equal mean holding times).
+	n := 0
+	var tick func()
+	tick = func() {
+		if loop.Now() >= 200*time.Second {
+			return
+		}
+		send(g, packet.FlowSelf, int64(n), loop.Now())
+		n++
+		loop.After(100*time.Millisecond, tick)
+	}
+	loop.After(0, tick)
+	loop.Run(250 * time.Second)
+	frac := float64(cnt.N[packet.FlowSelf]) / float64(n)
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("intermittent passed fraction %.3f, want ~0.5", frac)
+	}
+	if g.Gated+cnt.N[packet.FlowSelf] != n {
+		t.Error("gated + passed != sent")
+	}
+}
+
+func TestIntermittentNeverSwitchesWithZeroMean(t *testing.T) {
+	loop := sim.New(1)
+	cnt := NewCounter()
+	g := NewIntermittent(loop, 0, cnt)
+	for i := int64(0); i < 10; i++ {
+		send(g, packet.FlowSelf, i, 0)
+	}
+	loop.RunAll()
+	if cnt.N[packet.FlowSelf] != 10 {
+		t.Error("zero-mean intermittent should stay connected forever")
+	}
+}
+
+func TestSquareWaveDeterministic(t *testing.T) {
+	loop := sim.New(1)
+	cnt := NewCounter()
+	g := NewSquareWave(loop, 100*time.Second, cnt)
+
+	times := []time.Duration{
+		50 * time.Second,  // connected (0-100s)
+		150 * time.Second, // disconnected (100-200s)
+		250 * time.Second, // connected (200-300s)
+	}
+	for i, at := range times {
+		i := int64(i)
+		at := at
+		loop.Schedule(at, func() { send(g, packet.FlowSelf, i, at) })
+	}
+	loop.Run(300 * time.Second)
+	if cnt.N[packet.FlowSelf] != 2 {
+		t.Fatalf("squarewave passed %d, want 2", cnt.N[packet.FlowSelf])
+	}
+	if g.Gated != 1 {
+		t.Fatalf("squarewave gated %d, want 1", g.Gated)
+	}
+}
+
+func TestDiverter(t *testing.T) {
+	a, b := NewCounter(), NewCounter()
+	d := NewDiverter(packet.FlowCross, a, b)
+	send(d, packet.FlowCross, 0, 0)
+	send(d, packet.FlowSelf, 0, 0)
+	send(d, packet.FlowOther, 0, 0)
+	if a.N[packet.FlowCross] != 1 || len(a.N) != 1 {
+		t.Error("diverter mis-routed matched flow")
+	}
+	if b.N[packet.FlowSelf] != 1 || b.N[packet.FlowOther] != 1 {
+		t.Error("diverter mis-routed rest")
+	}
+}
+
+func TestEitherSwitches(t *testing.T) {
+	loop := sim.New(11)
+	a, b := NewCounter(), NewCounter()
+	e := NewEither(loop, 5*time.Second, a, b)
+	n := 0
+	var tick func()
+	tick = func() {
+		if loop.Now() >= 200*time.Second {
+			return
+		}
+		send(e, packet.FlowSelf, int64(n), loop.Now())
+		n++
+		loop.After(100*time.Millisecond, tick)
+	}
+	loop.After(0, tick)
+	loop.Run(250 * time.Second)
+	if a.N[packet.FlowSelf] == 0 || b.N[packet.FlowSelf] == 0 {
+		t.Errorf("either never switched: a=%d b=%d", a.N[packet.FlowSelf], b.N[packet.FlowSelf])
+	}
+	if a.N[packet.FlowSelf]+b.N[packet.FlowSelf] != n {
+		t.Error("either lost packets")
+	}
+}
+
+func TestPingerIsochronous(t *testing.T) {
+	loop := sim.New(1)
+	col := NewCollector(loop)
+	// 0.7c with 1500-byte packets: one packet every 12000/8400 s.
+	p := NewPinger(loop, 8400, packet.DefaultSizeBytes, packet.FlowCross, col)
+	p.Start()
+	p.Start() // idempotent
+	loop.Run(10 * time.Second)
+	p.Stop()
+	loop.RunAll()
+
+	want := p.Interval()
+	if len(col.Arrivals) < 6 {
+		t.Fatalf("pinger sent %d packets in 10s, want >= 6", len(col.Arrivals))
+	}
+	for i := 1; i < len(col.Arrivals); i++ {
+		gap := col.Arrivals[i].At - col.Arrivals[i-1].At
+		if gap != want {
+			t.Fatalf("pinger gap %v, want %v (isochronous)", gap, want)
+		}
+	}
+	// Sequence numbers must be consecutive.
+	for i, a := range col.Arrivals {
+		if a.Packet.Seq != int64(i) {
+			t.Fatalf("pinger seq %d at index %d", a.Packet.Seq, i)
+		}
+	}
+}
+
+func TestChainWiring(t *testing.T) {
+	loop := sim.New(1)
+	col := NewCollector(loop)
+	head := Chain(col,
+		NewDelay(loop, time.Second, nil),
+		NewLoss(loop, 0, nil),
+		NewDelay(loop, time.Second, nil),
+	)
+	send(head, packet.FlowSelf, 0, 0)
+	loop.RunAll()
+	if len(col.Arrivals) != 1 || col.Arrivals[0].At != 2*time.Second {
+		t.Fatalf("chain: %+v", col.Arrivals)
+	}
+	// Chain with no elements returns the tail.
+	if Chain(col) != Node(col) {
+		t.Error("empty Chain should return tail")
+	}
+}
+
+func TestTee(t *testing.T) {
+	a, b := NewCounter(), NewCounter()
+	tee := NewTee(a, b, nil)
+	send(tee, packet.FlowSelf, 0, 0)
+	if a.N[packet.FlowSelf] != 1 || b.N[packet.FlowSelf] != 1 {
+		t.Error("tee did not duplicate")
+	}
+}
+
+func TestReceiverAcks(t *testing.T) {
+	loop := sim.New(1)
+	var acks []packet.Ack
+	r := NewReceiver(loop, func(a packet.Ack) { acks = append(acks, a) })
+	loop.Schedule(3*time.Second, func() {
+		r.Receive(packet.New(packet.FlowSelf, 7, time.Second))
+	})
+	loop.RunAll()
+	if len(acks) != 1 {
+		t.Fatalf("acks = %d, want 1", len(acks))
+	}
+	a := acks[0]
+	if a.Seq != 7 || a.ReceivedAt != 3*time.Second || a.SentAt != time.Second {
+		t.Errorf("ack = %+v", a)
+	}
+	if r.ReceivedBits[packet.FlowSelf] != pktBits {
+		t.Errorf("received bits = %d", r.ReceivedBits[packet.FlowSelf])
+	}
+}
+
+func TestCollectorByFlow(t *testing.T) {
+	loop := sim.New(1)
+	c := NewCollector(loop)
+	send(c, packet.FlowSelf, 0, 0)
+	send(c, packet.FlowCross, 0, 0)
+	send(c, packet.FlowSelf, 1, 0)
+	if got := len(c.ByFlow(packet.FlowSelf)); got != 2 {
+		t.Errorf("ByFlow(self) = %d, want 2", got)
+	}
+	if got := len(c.ByFlow(packet.FlowOther)); got != 0 {
+		t.Errorf("ByFlow(other) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,115 @@
+package elements
+
+import (
+	"modelcc/internal/packet"
+	"modelcc/internal/sim"
+	"time"
+)
+
+// Delay is the paper's DELAY element: every packet is forwarded after a
+// fixed delay. Packets never reorder through a Delay because the delay is
+// constant.
+type Delay struct {
+	loop *sim.Loop
+	d    time.Duration
+	next Node
+}
+
+// NewDelay returns a Delay of d feeding next.
+func NewDelay(loop *sim.Loop, d time.Duration, next Node) *Delay {
+	return &Delay{loop: loop, d: d, next: next}
+}
+
+// SetNext implements Wirer.
+func (e *Delay) SetNext(n Node) { e.next = n }
+
+// Receive implements Node.
+func (e *Delay) Receive(p packet.Packet) {
+	e.loop.After(e.d, func() {
+		if e.next != nil {
+			e.next.Receive(p)
+		}
+	})
+}
+
+// Loss is the paper's LOSS element: each packet is independently dropped
+// with probability p and forwarded with probability 1-p.
+type Loss struct {
+	loop *sim.Loop
+	p    float64
+	next Node
+
+	// Dropped and Passed count outcomes by flow.
+	Dropped map[packet.FlowID]int
+	Passed  map[packet.FlowID]int
+}
+
+// NewLoss returns a Loss element dropping with probability p in [0,1].
+func NewLoss(loop *sim.Loop, p float64, next Node) *Loss {
+	if p < 0 || p > 1 {
+		panic("elements: loss probability outside [0,1]")
+	}
+	return &Loss{
+		loop:    loop,
+		p:       p,
+		next:    next,
+		Dropped: make(map[packet.FlowID]int),
+		Passed:  make(map[packet.FlowID]int),
+	}
+}
+
+// SetNext implements Wirer.
+func (e *Loss) SetNext(n Node) { e.next = n }
+
+// Receive implements Node.
+func (e *Loss) Receive(p packet.Packet) {
+	if e.loop.Rand().Float64() < e.p {
+		e.Dropped[p.Flow]++
+		return
+	}
+	e.Passed[p.Flow]++
+	if e.next != nil {
+		e.next.Receive(p)
+	}
+}
+
+// Jitter is the paper's JITTER element: with probability prob a packet is
+// delayed by extra; otherwise it is forwarded immediately. Jittered
+// packets can therefore reorder past un-jittered ones, exactly the
+// phenomenon the element exists to model.
+type Jitter struct {
+	loop  *sim.Loop
+	prob  float64
+	extra time.Duration
+	next  Node
+
+	// Jittered counts packets that received the extra delay.
+	Jittered int
+}
+
+// NewJitter returns a Jitter element applying extra with probability prob.
+func NewJitter(loop *sim.Loop, prob float64, extra time.Duration, next Node) *Jitter {
+	if prob < 0 || prob > 1 {
+		panic("elements: jitter probability outside [0,1]")
+	}
+	return &Jitter{loop: loop, prob: prob, extra: extra, next: next}
+}
+
+// SetNext implements Wirer.
+func (e *Jitter) SetNext(n Node) { e.next = n }
+
+// Receive implements Node.
+func (e *Jitter) Receive(p packet.Packet) {
+	if e.loop.Rand().Float64() < e.prob {
+		e.Jittered++
+		e.loop.After(e.extra, func() {
+			if e.next != nil {
+				e.next.Receive(p)
+			}
+		})
+		return
+	}
+	if e.next != nil {
+		e.next.Receive(p)
+	}
+}

@@ -1,0 +1,73 @@
+package elements
+
+import (
+	"modelcc/internal/packet"
+	"modelcc/internal/sim"
+	"modelcc/internal/units"
+	"time"
+)
+
+// Pinger is the paper's PINGER element: an isochronous sender of cross
+// traffic at a particular rate. It emits fixed-size packets of the given
+// flow at exact intervals of size/rate, starting one interval after Start.
+type Pinger struct {
+	loop      *sim.Loop
+	rate      units.BitRate
+	sizeBytes int
+	flow      packet.FlowID
+	next      Node
+	seq       int64
+	running   bool
+
+	// Sent counts emitted packets.
+	Sent int
+}
+
+// NewPinger returns a stopped Pinger; call Start to begin emission.
+func NewPinger(loop *sim.Loop, rate units.BitRate, sizeBytes int, flow packet.FlowID, next Node) *Pinger {
+	if sizeBytes <= 0 {
+		panic("elements: pinger packet size must be positive")
+	}
+	return &Pinger{loop: loop, rate: rate, sizeBytes: sizeBytes, flow: flow, next: next}
+}
+
+// SetNext implements Wirer.
+func (e *Pinger) SetNext(n Node) { e.next = n }
+
+// Interval reports the emission interval, size/rate.
+func (e *Pinger) Interval() time.Duration {
+	return units.TransmitTime(units.BytesToBits(e.sizeBytes), e.rate)
+}
+
+// Start begins isochronous emission; the first packet is sent one
+// interval from now. Start is idempotent.
+func (e *Pinger) Start() {
+	if e.running {
+		return
+	}
+	e.running = true
+	e.arm()
+}
+
+// Stop halts emission after any already-scheduled packet.
+func (e *Pinger) Stop() { e.running = false }
+
+func (e *Pinger) arm() {
+	e.loop.After(e.Interval(), func() {
+		if !e.running {
+			return
+		}
+		p := packet.Packet{
+			Flow:      e.flow,
+			Seq:       e.seq,
+			SizeBytes: e.sizeBytes,
+			SentAt:    e.loop.Now(),
+		}
+		e.seq++
+		e.Sent++
+		if e.next != nil {
+			e.next.Receive(p)
+		}
+		e.arm()
+	})
+}

@@ -1,0 +1,217 @@
+package emu
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"modelcc/internal/trace"
+	"modelcc/internal/units"
+)
+
+// ProxyConfig shapes the emulated forward path of a Proxy.
+type ProxyConfig struct {
+	// Trace schedules delivery opportunities (wall-clock, from proxy
+	// start).
+	Trace trace.Trace
+	// QueueBits bounds the forward queue (tail drop).
+	QueueBits int64
+	// Delay is added propagation delay on the forward path.
+	Delay time.Duration
+	// LossProb drops forwarded packets i.i.d. — the LOSS element on a
+	// real path.
+	LossProb float64
+	// Seed drives the loss process.
+	Seed int64
+}
+
+// Proxy is a mahimahi-style UDP link emulator: datagrams arriving on
+// the client-facing socket traverse a trace-driven bottleneck queue
+// (plus delay and stochastic loss) before being forwarded to the target;
+// datagrams from the target return to the most recent client directly.
+// One Proxy emulates one direction of one link, which matches the
+// paper's model of a lossless, instant return path (§3.4).
+type Proxy struct {
+	cfg      ProxyConfig
+	listen   *net.UDPConn
+	upstream *net.UDPConn
+
+	mu       sync.Mutex
+	client   *net.UDPAddr
+	q        []queued
+	usedBits int64
+	rng      *rand.Rand
+
+	// Forwarded, Dropped, Lost count packets through the emulated link.
+	Forwarded, Dropped, Lost int64
+}
+
+type queued struct {
+	payload []byte
+}
+
+// NewProxy creates a proxy listening on listenAddr and forwarding to
+// targetAddr.
+func NewProxy(listenAddr, targetAddr string, cfg ProxyConfig) (*Proxy, error) {
+	if err := cfg.Trace.Validate(); err != nil {
+		return nil, err
+	}
+	la, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	lc, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, err
+	}
+	ta, err := net.ResolveUDPAddr("udp", targetAddr)
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	uc, err := net.DialUDP("udp", nil, ta)
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	if cfg.QueueBits <= 0 {
+		cfg.QueueBits = units.BytesToBits(1 << 20)
+	}
+	return &Proxy{
+		cfg:      cfg,
+		listen:   lc,
+		upstream: uc,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Addr reports the client-facing address (useful with ":0" listeners).
+func (p *Proxy) Addr() *net.UDPAddr { return p.listen.LocalAddr().(*net.UDPAddr) }
+
+// Close releases both sockets.
+func (p *Proxy) Close() {
+	p.listen.Close()
+	p.upstream.Close()
+}
+
+// Run operates the proxy until ctx is cancelled.
+func (p *Proxy) Run(ctx context.Context) error {
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { defer wg.Done(); p.clientReader(ctx) }()
+	go func() { defer wg.Done(); p.scheduler(ctx, start) }()
+	go func() { defer wg.Done(); p.returnPath(ctx) }()
+	<-ctx.Done()
+	p.listen.SetReadDeadline(time.Now())
+	p.upstream.SetReadDeadline(time.Now())
+	wg.Wait()
+	return nil
+}
+
+// clientReader enqueues client datagrams onto the emulated link.
+func (p *Proxy) clientReader(ctx context.Context) {
+	buf := make([]byte, 64*1024)
+	for {
+		n, addr, err := p.listen.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				if ctx.Err() != nil {
+					return
+				}
+				continue
+			}
+			return
+		}
+		bits := units.BytesToBits(n)
+		p.mu.Lock()
+		p.client = addr
+		if p.usedBits+bits > p.cfg.QueueBits {
+			p.Dropped++
+			p.mu.Unlock()
+			continue
+		}
+		p.q = append(p.q, queued{payload: append([]byte(nil), buf[:n]...)})
+		p.usedBits += bits
+		p.mu.Unlock()
+	}
+}
+
+// scheduler releases one queued datagram per trace opportunity.
+func (p *Proxy) scheduler(ctx context.Context, start time.Time) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		elapsed := time.Since(start)
+		at, ok := p.cfg.Trace.Next(elapsed)
+		if !ok {
+			return // finite trace exhausted
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(at - elapsed):
+		}
+		p.mu.Lock()
+		if len(p.q) == 0 {
+			p.mu.Unlock()
+			continue
+		}
+		item := p.q[0]
+		p.q = p.q[1:]
+		p.usedBits -= units.BytesToBits(len(item.payload))
+		p.mu.Unlock()
+
+		if p.cfg.LossProb > 0 && p.rng.Float64() < p.cfg.LossProb {
+			p.Lost++
+			continue
+		}
+		deliver := func() {
+			if _, err := p.upstream.Write(item.payload); err == nil {
+				p.Forwarded++
+			}
+		}
+		if p.cfg.Delay > 0 {
+			time.AfterFunc(p.cfg.Delay, deliver)
+		} else {
+			deliver()
+		}
+	}
+}
+
+// returnPath relays target responses straight back to the client — the
+// paper's lossless, instant acknowledgment path.
+func (p *Proxy) returnPath(ctx context.Context) {
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := p.upstream.Read(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				if ctx.Err() != nil {
+					return
+				}
+				continue
+			}
+			return
+		}
+		p.mu.Lock()
+		client := p.client
+		p.mu.Unlock()
+		if client == nil {
+			continue
+		}
+		p.listen.WriteToUDP(buf[:n], client)
+	}
+}

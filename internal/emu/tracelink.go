@@ -1,0 +1,101 @@
+// Package emu provides trace-driven link emulation: a simulator element
+// (TraceLink) and a real-socket UDP proxy (Proxy, in proxy.go) that
+// release one queued packet per delivery opportunity of a trace.Trace —
+// the standard technique for reproducing cellular link behaviour without
+// the cellular network.
+package emu
+
+import (
+	"modelcc/internal/elements"
+	"modelcc/internal/packet"
+	"modelcc/internal/sim"
+	"modelcc/internal/trace"
+)
+
+// TraceLink is a DES element: a tail-drop queue drained by the delivery
+// opportunities of a trace. Cellular "bufferbloat" is a TraceLink with a
+// multi-megabyte queue.
+type TraceLink struct {
+	loop    *sim.Loop
+	tr      trace.Trace
+	capBits int64
+	next    elements.Node
+
+	q        []packet.Packet
+	usedBits int64
+	armed    *sim.Event
+
+	// Delivered and Drops count packets by flow.
+	Delivered map[packet.FlowID]int
+	Drops     map[packet.FlowID]int
+	// QueueDepth samples the queue (bits) at each arrival, for
+	// inspecting bufferbloat directly.
+	MaxQueueBits int64
+}
+
+// NewTraceLink returns a trace-driven link with the given queue capacity
+// delivering to next.
+func NewTraceLink(loop *sim.Loop, tr trace.Trace, capBits int64, next elements.Node) *TraceLink {
+	if err := tr.Validate(); err != nil {
+		panic("emu: " + err.Error())
+	}
+	return &TraceLink{
+		loop:      loop,
+		tr:        tr,
+		capBits:   capBits,
+		next:      next,
+		Delivered: make(map[packet.FlowID]int),
+		Drops:     make(map[packet.FlowID]int),
+	}
+}
+
+// SetNext implements elements.Wirer.
+func (l *TraceLink) SetNext(n elements.Node) { l.next = n }
+
+// UsedBits reports the current queue occupancy.
+func (l *TraceLink) UsedBits() int64 { return l.usedBits }
+
+// Receive implements elements.Node.
+func (l *TraceLink) Receive(p packet.Packet) {
+	if l.usedBits+p.Bits() > l.capBits {
+		l.Drops[p.Flow]++
+		return
+	}
+	l.q = append(l.q, p)
+	l.usedBits += p.Bits()
+	if l.usedBits > l.MaxQueueBits {
+		l.MaxQueueBits = l.usedBits
+	}
+	l.arm()
+}
+
+// arm schedules delivery at the next opportunity if not already armed.
+func (l *TraceLink) arm() {
+	if l.armed != nil && !l.armed.Cancelled() {
+		return
+	}
+	if len(l.q) == 0 {
+		return
+	}
+	at, ok := l.tr.Next(l.loop.Now())
+	if !ok {
+		return // finite trace exhausted: the link is dead
+	}
+	l.armed = l.loop.Schedule(at, l.fire)
+}
+
+func (l *TraceLink) fire() {
+	l.armed = nil
+	if len(l.q) == 0 {
+		return
+	}
+	p := l.q[0]
+	copy(l.q, l.q[1:])
+	l.q = l.q[:len(l.q)-1]
+	l.usedBits -= p.Bits()
+	l.Delivered[p.Flow]++
+	if l.next != nil {
+		l.next.Receive(p)
+	}
+	l.arm()
+}

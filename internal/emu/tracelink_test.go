@@ -1,0 +1,103 @@
+package emu
+
+import (
+	"testing"
+	"time"
+
+	"modelcc/internal/elements"
+	"modelcc/internal/packet"
+	"modelcc/internal/sim"
+	"modelcc/internal/trace"
+)
+
+func TestTraceLinkDeliversAtOpportunities(t *testing.T) {
+	loop := sim.New(1)
+	col := elements.NewCollector(loop)
+	tr := trace.Trace{
+		Opportunities: []time.Duration{
+			100 * time.Millisecond, 300 * time.Millisecond, 900 * time.Millisecond,
+		},
+		Period: time.Second,
+	}
+	link := NewTraceLink(loop, tr, 100*12000, col)
+
+	for i := int64(0); i < 4; i++ {
+		link.Receive(packet.New(packet.FlowSelf, i, 0))
+	}
+	loop.Run(2 * time.Second)
+
+	want := []time.Duration{
+		100 * time.Millisecond, 300 * time.Millisecond, 900 * time.Millisecond,
+		1100 * time.Millisecond, // wraps into the next period
+	}
+	if len(col.Arrivals) != len(want) {
+		t.Fatalf("delivered %d, want %d", len(col.Arrivals), len(want))
+	}
+	for i, a := range col.Arrivals {
+		if a.At != want[i] {
+			t.Errorf("delivery %d at %v, want %v", i, a.At, want[i])
+		}
+		if a.Packet.Seq != int64(i) {
+			t.Errorf("delivery %d out of order (seq %d)", i, a.Packet.Seq)
+		}
+	}
+}
+
+func TestTraceLinkTailDrop(t *testing.T) {
+	loop := sim.New(1)
+	tr := trace.Constant(12000, 12000)
+	link := NewTraceLink(loop, tr, 2*12000, elements.Discard)
+	for i := int64(0); i < 5; i++ {
+		link.Receive(packet.New(packet.FlowSelf, i, 0))
+	}
+	if link.Drops[packet.FlowSelf] != 3 {
+		t.Errorf("drops = %d, want 3", link.Drops[packet.FlowSelf])
+	}
+	if link.UsedBits() != 2*12000 {
+		t.Errorf("used = %d", link.UsedBits())
+	}
+}
+
+func TestTraceLinkIdleThenBusy(t *testing.T) {
+	loop := sim.New(1)
+	col := elements.NewCollector(loop)
+	tr := trace.Constant(120000, 12000) // 10 pkt/s
+	link := NewTraceLink(loop, tr, 100*12000, col)
+
+	// Packet arrives mid-period; must catch the next opportunity, not
+	// a stale one.
+	loop.Schedule(5*time.Second+42*time.Millisecond, func() {
+		link.Receive(packet.New(packet.FlowSelf, 0, loop.Now()))
+	})
+	loop.Run(6 * time.Second)
+	if len(col.Arrivals) != 1 {
+		t.Fatalf("delivered %d", len(col.Arrivals))
+	}
+	if got := col.Arrivals[0].At; got <= 5*time.Second+42*time.Millisecond {
+		t.Errorf("delivered at %v, before arrival", got)
+	}
+	if got := col.Arrivals[0].At; got > 5*time.Second+200*time.Millisecond {
+		t.Errorf("delivered at %v, missed the next opportunity", got)
+	}
+}
+
+func TestTraceLinkMaxQueueTracksBloat(t *testing.T) {
+	loop := sim.New(1)
+	tr := trace.Constant(12000, 12000) // 1 pkt/s drain
+	link := NewTraceLink(loop, tr, 1<<20, elements.Discard)
+	for i := int64(0); i < 50; i++ {
+		link.Receive(packet.New(packet.FlowSelf, i, 0))
+	}
+	if link.MaxQueueBits != 50*12000 {
+		t.Errorf("MaxQueueBits = %d, want %d", link.MaxQueueBits, 50*12000)
+	}
+}
+
+func TestTraceLinkRejectsBadTrace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid trace did not panic")
+		}
+	}()
+	NewTraceLink(sim.New(1), trace.Trace{}, 12000, elements.Discard)
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFig3Qualitative runs the Figure 3 experiment with a reduced prior
+// and checks the paper's qualitative claims. The full-prior version is
+// the BenchmarkFig3 harness; this keeps CI fast while exercising the
+// identical pipeline.
+func TestFig3Qualitative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	alphas := []float64{0.9, 1.0, 2.5, 5}
+	res := Fig3Result{}
+	for _, a := range alphas {
+		cfg := tinyConfig(a, 300*time.Second)
+		res.Alphas = append(res.Alphas, a)
+		res.Runs = append(res.Runs, RunISender(cfg))
+	}
+	report, ok := Fig3Claims(res)
+	t.Logf("\n%s", report)
+	for i, run := range res.Runs {
+		t.Logf("α=%g: sent=%d acked=%d contention-rate=%.3f quiet-rate=%.3f drops=%d/%d",
+			alphas[i], run.Sent, run.Acked,
+			run.AckedSeq.Rate(30*time.Second, 95*time.Second),
+			run.AckedSeq.Rate(140*time.Second, 195*time.Second),
+			run.OwnBufferDrops, run.CrossBufferDrops)
+	}
+	if !ok {
+		t.Error("Figure 3 qualitative claims failed (see report)")
+	}
+}

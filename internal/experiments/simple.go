@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"time"
+
+	"modelcc/internal/model"
+	"modelcc/internal/stats"
+	"modelcc/internal/utility"
+)
+
+// SimpleConfig builds the §4 "simple configuration" run: a single
+// ISENDER connected to a queue drained by a throughput-limited link, no
+// cross traffic, no loss. The paper: "It begins tentatively if it is not
+// sure of the link speed and initial buffer occupancy. Once it has
+// inferred those parameters, it simply sends at the link speed from
+// there on out."
+func SimpleConfig(seed int64, duration time.Duration) ISenderConfig {
+	actual := model.Params{
+		LinkRate:      12000,
+		BufferCapBits: 96000,
+	}
+	prior := model.Prior{
+		LinkRate:      model.PriorRange{Lo: 8000, Hi: 20000, N: 13},
+		BufferCapBits: model.PriorRange{Lo: 72000, Hi: 108000, N: 4},
+		FullnessSteps: 4,
+	}
+	return ISenderConfig{
+		Actual:   actual,
+		Gate:     model.GateFixed,
+		Prior:    prior,
+		Utility:  utility.Default(),
+		Duration: duration,
+		Seed:     seed,
+	}
+}
+
+// SimpleResult summarizes the convergence run.
+type SimpleResult struct {
+	// Run is the underlying run.
+	Run ISenderResult
+	// EarlyRate and LateRate are the sending rates (packets/second)
+	// over the first fifth and the last half of the run.
+	EarlyRate, LateRate float64
+	// ConvergedToLinkSpeed reports whether the late-run sending rate is
+	// within 5% of the link speed.
+	ConvergedToLinkSpeed bool
+}
+
+// RunSimple executes the simple-configuration experiment.
+func RunSimple(seed int64, duration time.Duration) SimpleResult {
+	cfg := SimpleConfig(seed, duration)
+	run := RunISender(cfg)
+	fifth := duration / 5
+	res := SimpleResult{
+		Run:       run,
+		EarlyRate: run.SentSeq.Rate(0, fifth),
+		LateRate:  run.SentSeq.Rate(duration/2, duration),
+	}
+	res.ConvergedToLinkSpeed = res.LateRate > 0.95 && res.LateRate < 1.05
+	return res
+}
+
+// DrainConfig builds the §4 drain-first run: "If cross traffic is
+// present and the utility function penalizes induced latency to other
+// traffic, then the ISENDER drains the buffer before sending at the link
+// speed." The buffer starts half full of cross-traffic backlog; light
+// cross traffic keeps trickling in.
+func DrainConfig(seed int64, duration time.Duration, penalty float64) ISenderConfig {
+	actual := model.Params{
+		LinkRate:  12000,
+		CrossRate: 6000, // half the link: delay-sensitive traffic a
+		// queued packet genuinely delays
+		MeanSwitch:    0, // always on
+		BufferCapBits: 96000,
+		InitFullBits:  48000,
+	}
+	prior := model.Prior{
+		LinkRate:      model.PriorRange{Lo: 10000, Hi: 16000, N: 4},
+		CrossFrac:     model.PriorRange{Lo: 0.5, Hi: 0.5, N: 1},
+		BufferCapBits: model.PriorRange{Lo: 96000, Hi: 96000, N: 1},
+		FullnessSteps: 5, // 0, 24000, 48000, 72000, 96000
+	}
+	u := utility.Default()
+	u.CrossLatencyPenalty = penalty
+	return ISenderConfig{
+		Actual:        actual,
+		PingerOnStart: true,
+		Gate:          model.GateFixed,
+		Prior:         prior,
+		Utility:       u,
+		Duration:      duration,
+		Seed:          seed,
+	}
+}
+
+// DrainResult compares a latency-penalized run against an unpenalized
+// one on the same half-full buffer.
+type DrainResult struct {
+	// Penalized and Unpenalized are the two runs.
+	Penalized, Unpenalized ISenderResult
+	// PenalizedFirstSend and UnpenalizedFirstSend are when each sender
+	// first used the link.
+	PenalizedFirstSend, UnpenalizedFirstSend time.Duration
+}
+
+// RunDrain executes the drain-first experiment.
+func RunDrain(seed int64, duration time.Duration) DrainResult {
+	pen := RunISender(DrainConfig(seed, duration, 1.2))
+	unpen := RunISender(DrainConfig(seed, duration, 0))
+	return DrainResult{
+		Penalized:            pen,
+		Unpenalized:          unpen,
+		PenalizedFirstSend:   firstSendTime(pen.SentSeq),
+		UnpenalizedFirstSend: firstSendTime(unpen.SentSeq),
+	}
+}
+
+func firstSendTime(s stats.Series) time.Duration {
+	if len(s.Pts) == 0 {
+		return -1
+	}
+	return s.Pts[0].T
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"modelcc/internal/model"
+	"modelcc/internal/utility"
+)
+
+// tinyPrior is a reduced Fig3 prior (same ranges, coarser grids) that
+// still contains the true parameter point, for fast tests.
+func tinyPrior() model.Prior {
+	return model.Prior{
+		LinkRate:      model.PriorRange{Lo: 10000, Hi: 16000, N: 4},  // includes 12000
+		CrossFrac:     model.PriorRange{Lo: 0.4, Hi: 0.7, N: 2},      // includes 0.7
+		LossProb:      model.PriorRange{Lo: 0, Hi: 0.2, N: 2},        // includes 0.2
+		BufferCapBits: model.PriorRange{Lo: 72000, Hi: 108000, N: 4}, // must include true 96000
+
+		FullnessSteps:  2,
+		MeanSwitch:     100 * time.Second,
+		PingerMaybeOff: true,
+	}
+}
+
+func tinyConfig(alpha float64, dur time.Duration) ISenderConfig {
+	u := utility.Default()
+	u.Alpha = alpha
+	return ISenderConfig{
+		Actual:        model.Fig2Actual(),
+		PingerOnStart: true,
+		Gate:          model.GateSquareWave,
+		HalfPeriod:    100 * time.Second,
+		Prior:         tinyPrior(),
+		Utility:       u,
+		Duration:      dur,
+		Seed:          42,
+	}
+}
+
+func TestSmokeISenderRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration smoke test")
+	}
+	res := RunISender(tinyConfig(1.0, 60*time.Second))
+	t.Logf("sent=%d acked=%d wakes=%d ownDrops=%d crossDrops=%d support=%v",
+		res.Sent, res.Acked, res.Wakes, res.OwnBufferDrops, res.CrossBufferDrops, res.SupportSize.Max())
+	if res.Sent == 0 {
+		t.Fatal("sender never sent")
+	}
+	if res.Acked == 0 {
+		t.Fatal("no packet was ever acknowledged")
+	}
+	if res.OwnBufferDrops+res.CrossBufferDrops > 0 {
+		t.Errorf("α=1 run caused %d buffer drops, paper says none",
+			res.OwnBufferDrops+res.CrossBufferDrops)
+	}
+}

@@ -1,0 +1,152 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"modelcc/internal/elements"
+	"modelcc/internal/packet"
+	"modelcc/internal/sim"
+)
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+// TestModelMatchesDES cross-validates the inference automaton against the
+// discrete-event element implementation: the same topology (sender and
+// pinger feeding a shared tail-drop buffer drained by a throughput link,
+// no loss, gate fixed on) must produce identical own-packet delivery
+// times in both simulators.
+func TestModelMatchesDES(t *testing.T) {
+	p := Params{
+		LinkRate:      12000,
+		CrossRate:     8400,
+		BufferCapBits: 96000,
+	}
+
+	// Own sends: every 1.7 s for 100 s (faster than the 30% spare
+	// capacity, so queueing and drops occur).
+	var sends []Send
+	for at := 1700 * time.Millisecond; at < 100*time.Second; at += 1700 * time.Millisecond {
+		sends = append(sends, Send{Seq: int64(len(sends)), At: at})
+	}
+
+	// Model run.
+	s := Initial(p, true)
+	var evs []Event
+	s.Run(120*time.Second, sends, &evs)
+	modelOwn := map[int64]time.Duration{}
+	modelDrops := map[int64]bool{}
+	for _, e := range evs {
+		switch e.Kind {
+		case OwnDelivered:
+			modelOwn[e.Seq] = e.At
+		case OwnBufferDrop:
+			modelDrops[e.Seq] = true
+		}
+	}
+
+	// DES run of the same topology.
+	loop := sim.New(1)
+	col := elements.NewCollector(loop)
+	buf, _ := elements.NewBottleneck(loop, p.BufferCapBits, p.LinkRate, col)
+	pinger := elements.NewPinger(loop, p.CrossRate, packet.DefaultSizeBytes, packet.FlowCross, buf)
+	pinger.Start()
+	for _, snd := range sends {
+		snd := snd
+		loop.Schedule(snd.At, func() {
+			buf.Receive(packet.New(packet.FlowSelf, snd.Seq, loop.Now()))
+		})
+	}
+	loop.Run(120 * time.Second)
+
+	desOwn := map[int64]time.Duration{}
+	for _, a := range col.ByFlow(packet.FlowSelf) {
+		desOwn[a.Packet.Seq] = a.At
+	}
+
+	if len(modelOwn) == 0 {
+		t.Fatal("model delivered nothing")
+	}
+	if len(modelOwn) != len(desOwn) {
+		t.Fatalf("model delivered %d, DES delivered %d", len(modelOwn), len(desOwn))
+	}
+	for seq, at := range modelOwn {
+		das, ok := desOwn[seq]
+		if !ok {
+			t.Fatalf("model delivered %d but DES dropped it", seq)
+		}
+		diff := at - das
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > time.Microsecond {
+			t.Errorf("seq %d delivery: model %v vs DES %v", seq, at, das)
+		}
+	}
+	// Drops must agree too.
+	for seq := range modelDrops {
+		if _, delivered := desOwn[seq]; delivered {
+			t.Errorf("model dropped %d but DES delivered it", seq)
+		}
+	}
+	if len(modelDrops) == 0 {
+		t.Error("workload should have produced buffer drops; model saw none")
+	}
+
+	// Cross deliveries must also agree in count.
+	crossModel := 0
+	for _, e := range evs {
+		if e.Kind == CrossDelivered {
+			crossModel++
+		}
+	}
+	crossDES := len(col.ByFlow(packet.FlowCross))
+	if crossModel != crossDES {
+		t.Errorf("cross deliveries: model %d vs DES %d", crossModel, crossDES)
+	}
+}
+
+// TestTruthConsistentWithEnum: the branch of AdvanceEnum whose toggle
+// pattern matches what Truth actually did must predict exactly the
+// truth's pre-loss event sequence.
+func TestTruthConsistentWithEnum(t *testing.T) {
+	p := Fig2Actual()
+	p.LossProb = 0 // isolate timing; loss is applied after the fact
+	tr := NewTruth(p, true, GateSquareWave, 100*time.Second, newTestRand())
+
+	sends := []Send{
+		{Seq: 0, At: 500 * time.Millisecond},
+		{Seq: 1, At: 2500 * time.Millisecond},
+		{Seq: 2, At: 4500 * time.Millisecond},
+	}
+	truthEvents := tr.AdvanceTo(10*time.Second, sends)
+
+	s := Initial(p, true)
+	brs := AdvanceEnum(s, 10*time.Second, sends)
+
+	// The square wave doesn't toggle before 100s, so the all-stay branch
+	// must match truth exactly.
+	match := false
+	for _, b := range brs {
+		if eventsEqual(b.Events, truthEvents) {
+			match = true
+			break
+		}
+	}
+	if !match {
+		t.Fatalf("no enumerated branch matches truth.\ntruth: %+v", truthEvents)
+	}
+}
+
+func eventsEqual(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

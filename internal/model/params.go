@@ -1,0 +1,97 @@
+// Package model implements the inference-side network model: a compact,
+// cloneable, deterministic-given-outcomes automaton over the paper's
+// element language (§3.1–3.2).
+//
+// The belief (internal/belief) needs thousands of cheap copies of "a
+// possible network". A closure-based discrete-event simulator is hostile
+// to cloning, so this package represents one network hypothesis as a
+// value type — State — holding the unknown parameters (Params) plus the
+// dynamic state of the Figure 2 element composition:
+//
+//	PINGER(r) -> INTERMITTENT(t) -> \
+//	                                 BUFFER(cap, fullness) -> THROUGHPUT(c) -> LOSS(p) -> receivers
+//	ISENDER   ------------------> /
+//
+// Nondeterminism is surfaced, not drawn: inference enumerates weighted
+// branches at pinger switch opportunities (AdvanceEnum), while ground
+// truth (Truth) samples the same mechanics from a seeded RNG. Stochastic
+// loss is modeled at the "last mile", after the queue and link, so — as
+// the paper observes (§3.2) — its consequences do not linger in the
+// network state: loss never forks a State, it only weights the
+// consistency of observations (belief) or gates actual deliveries
+// (truth).
+package model
+
+import (
+	"time"
+
+	"modelcc/internal/packet"
+	"modelcc/internal/units"
+)
+
+// Params holds the static unknowns of one network hypothesis — the
+// quantities the paper's prior ranges over (§4) plus the clock-skew
+// extension flagged as future work in §3.4.
+type Params struct {
+	// LinkRate is c, the bottleneck THROUGHPUT speed in bits/second.
+	LinkRate units.BitRate
+	// CrossRate is the PINGER's rate in bits/second. The paper expresses
+	// it as a fraction of c (r ∈ [0.4c, 0.7c]).
+	CrossRate units.BitRate
+	// MeanSwitch is t, the INTERMITTENT gate's mean time to switch.
+	// Zero means the gate never switches.
+	MeanSwitch time.Duration
+	// LossProb is p, the last-mile LOSS element's drop probability.
+	LossProb float64
+	// BufferCapBits is the BUFFER capacity in bits.
+	BufferCapBits int64
+	// InitFullBits is the BUFFER's initial fullness in bits (filler
+	// packets of unknown provenance, quantized to whole packets).
+	InitFullBits int64
+	// ClockSkew scales the receiver clock: a delivery at sender time t
+	// is reported at t*(1+ClockSkew). Zero (the paper's assumption of
+	// synchronized clocks) unless the skew extension is exercised.
+	ClockSkew float64
+	// PktBytes is the uniform packet size (§3.2); 0 means the 1500-byte
+	// default.
+	PktBytes int
+}
+
+// PktBits reports the uniform packet size in bits.
+func (p Params) PktBits() int64 {
+	if p.PktBytes <= 0 {
+		return packet.DefaultSizeBits
+	}
+	return units.BytesToBits(p.PktBytes)
+}
+
+// CrossInterval reports the PINGER emission interval, one packet's bits
+// at CrossRate. A non-positive CrossRate means no cross traffic; the
+// interval is then Forever.
+func (p Params) CrossInterval() time.Duration {
+	if p.CrossRate <= 0 {
+		return units.Forever
+	}
+	return units.TransmitTime(p.PktBits(), p.CrossRate)
+}
+
+// ServiceTime reports how long one packet occupies the bottleneck link.
+func (p Params) ServiceTime() time.Duration {
+	return units.TransmitTime(p.PktBits(), p.LinkRate)
+}
+
+// Fig2Actual returns the true network parameters of the paper's §4
+// experiment: c = 12,000 bits/s, r = 0.7c, p = 0.2, a 96,000-bit buffer
+// starting empty. MeanSwitch is left at the prior's 100 s even though the
+// true gate is a deterministic square wave — reproducing the paper's
+// deliberate model mismatch.
+func Fig2Actual() Params {
+	return Params{
+		LinkRate:      12000,
+		CrossRate:     0.7 * 12000,
+		MeanSwitch:    100 * time.Second,
+		LossProb:      0.2,
+		BufferCapBits: 96000,
+		InitFullBits:  0,
+	}
+}

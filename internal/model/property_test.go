@@ -1,0 +1,149 @@
+package model
+
+import (
+	"math/rand"
+
+	"modelcc/internal/units"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randWorkload builds a reproducible workload from quick's inputs.
+type randWorkload struct {
+	LinkKbit  uint8 // 8..40 kbit/s
+	CrossFrac uint8 // 0..100 %
+	CapPkts   uint8 // 1..16 packets
+	FullPkts  uint8
+	NSends    uint8
+	GapMs     uint16
+}
+
+func (w randWorkload) sends() []Send {
+	gap := time.Duration(200+int(w.GapMs%2000)) * time.Millisecond
+	n := int(w.NSends % 40)
+	out := make([]Send, n)
+	for i := range out {
+		out[i] = Send{Seq: int64(i), At: time.Duration(i+1) * gap}
+	}
+	return out
+}
+
+// TestConservationProperty: every sent packet is accounted for exactly
+// once — delivered, buffer-dropped, or still in the system.
+func TestConservationProperty(t *testing.T) {
+	f := func(w randWorkload) bool {
+		p := Params{
+			LinkRate:      12000,
+			CrossRate:     units.BitRate(12000 * float64(w.CrossFrac%101) / 100),
+			BufferCapBits: (1 + int64(w.CapPkts%16)) * 12000,
+		}
+		p.InitFullBits = (int64(w.FullPkts) % (p.BufferCapBits/12000 + 1)) * 12000
+		s := Initial(p, w.CrossFrac%2 == 0)
+		sends := w.sends()
+		horizon := 120 * time.Second
+		var evs []Event
+		s.Run(horizon, sends, &evs)
+
+		delivered, dropped := 0, 0
+		seen := map[int64]int{}
+		for _, e := range evs {
+			switch e.Kind {
+			case OwnDelivered:
+				delivered++
+				seen[e.Seq]++
+			case OwnBufferDrop:
+				dropped++
+				seen[e.Seq]++
+			}
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false // a packet produced two outcomes
+			}
+		}
+		return delivered+dropped+s.InFlightOwn() == len(sends)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCloneKeyProperty: clones have equal keys; advancing the clone does
+// not perturb the original's key.
+func TestCloneKeyProperty(t *testing.T) {
+	f := func(w randWorkload) bool {
+		p := Params{
+			LinkRate:      units.BitRate(10000 + float64(w.LinkKbit%7)*1000),
+			CrossRate:     7000,
+			BufferCapBits: 96000,
+		}
+		s := Initial(p, true)
+		var evs []Event
+		s.Run(3*time.Second, w.sends(), &evs)
+
+		c := s.Clone()
+		if c.Key() != s.Key() {
+			return false
+		}
+		before := s.Key()
+		var evs2 []Event
+		c.Run(10*time.Second, nil, &evs2)
+		return s.Key() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnumWeightSumProperty: AdvanceEnum branch weights always sum to 1.
+func TestEnumWeightSumProperty(t *testing.T) {
+	f := func(meanS uint8, horizonS uint8) bool {
+		p := Params{
+			LinkRate:      12000,
+			CrossRate:     8400,
+			BufferCapBits: 96000,
+			MeanSwitch:    time.Duration(1+meanS%200) * time.Second,
+		}
+		s := Initial(p, true)
+		brs := AdvanceEnum(s, time.Duration(1+horizonS%8)*time.Second, nil)
+		var sum float64
+		for _, b := range brs {
+			sum += b.W
+		}
+		return sum > 0.999999 && sum < 1.000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeliveryOrderProperty: own deliveries are in sequence order and
+// non-decreasing in time (FIFO through a single queue).
+func TestDeliveryOrderProperty(t *testing.T) {
+	f := func(w randWorkload) bool {
+		p := Params{
+			LinkRate:      12000,
+			CrossRate:     6000,
+			BufferCapBits: 96000,
+		}
+		s := Initial(p, true)
+		var evs []Event
+		s.Run(300*time.Second, w.sends(), &evs)
+		lastSeq := int64(-1)
+		lastAt := time.Duration(-1)
+		for _, e := range evs {
+			if e.Kind != OwnDelivered {
+				continue
+			}
+			if e.Seq <= lastSeq || e.At < lastAt {
+				return false
+			}
+			lastSeq, lastAt = e.Seq, e.At
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,441 @@
+package model
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"modelcc/internal/units"
+)
+
+// QPkt is a packet descriptor inside the modeled BUFFER or in service at
+// the THROUGHPUT link.
+type QPkt struct {
+	// Own marks the ISENDER's packets; filler and cross packets are not
+	// Own.
+	Own bool
+	// Seq is the own-packet sequence number; -1 for cross/filler.
+	Seq int64
+	// Bits is the packet size.
+	Bits int64
+	// EnqueuedAt is when the packet entered the buffer/link; delivery
+	// events report At-EnqueuedAt as the packet's queueing delay, which
+	// the latency-penalizing utility (§3.3) consumes. It is not part of
+	// the compaction Key: it cannot influence any future observable.
+	EnqueuedAt time.Duration
+}
+
+// EventKind classifies what happened to a packet during an advance.
+type EventKind uint8
+
+// Event kinds. Own* events concern the ISENDER's packets and drive the
+// Bayesian update; Cross* events feed the utility function.
+const (
+	// OwnDelivered: an own packet finished the link and reached the
+	// LOSS element; it arrives at the receiver with probability 1-p.
+	OwnDelivered EventKind = iota
+	// OwnBufferDrop: an own packet was tail-dropped at the BUFFER; it
+	// can never be acknowledged.
+	OwnBufferDrop
+	// OwnLost: (Truth only) an own packet was dropped by the LOSS
+	// element after the link.
+	OwnLost
+	// CrossDelivered: a cross packet finished the link (pre-LOSS).
+	CrossDelivered
+	// CrossBufferDrop: a cross packet was tail-dropped at the BUFFER.
+	CrossBufferDrop
+	// CrossLost: (Truth only) a cross packet was dropped by LOSS.
+	CrossLost
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case OwnDelivered:
+		return "own-delivered"
+	case OwnBufferDrop:
+		return "own-bufdrop"
+	case OwnLost:
+		return "own-lost"
+	case CrossDelivered:
+		return "cross-delivered"
+	case CrossBufferDrop:
+		return "cross-bufdrop"
+	case CrossLost:
+		return "cross-lost"
+	default:
+		return "event(?)"
+	}
+}
+
+// Event is one packet outcome produced by advancing a State.
+type Event struct {
+	Kind EventKind
+	// Seq is the own-packet sequence number, -1 for cross events.
+	Seq int64
+	// At is the event time. For deliveries it is the receiver-clock
+	// arrival time (sender time scaled by 1+ClockSkew); for drops it is
+	// the drop instant.
+	At time.Duration
+	// Bits is the packet size, used by the utility accounting.
+	Bits int64
+	// Delay is the packet's in-network sojourn (delivery time minus
+	// enqueue time, sender clock) for delivery events; zero for drops.
+	Delay time.Duration
+}
+
+// Send is a scheduled injection of one own packet into the network.
+type Send struct {
+	// Seq is the packet's sequence number.
+	Seq int64
+	// At is the injection time; must be >= the state's current time
+	// when passed to an advance.
+	At time.Duration
+	// Bits is the packet size; 0 means the hypothesis's uniform size.
+	Bits int64
+}
+
+// State is one hypothesis about the network: static Params plus the
+// dynamic state of the Figure 2 composition. It is a value type; Clone
+// yields an independent copy.
+type State struct {
+	// P are the hypothesis's static parameters.
+	P Params
+	// ParamsID identifies the prior grid point that produced P; it takes
+	// part in the compaction key so hypotheses with different parameters
+	// never merge. Assign it when building the prior.
+	ParamsID int32
+
+	// Now is the hypothesis's current time.
+	Now time.Duration
+	// PingerOn is the INTERMITTENT gate state (true = connected).
+	PingerOn bool
+	// NextCross is the absolute time of the PINGER's next emission. The
+	// pinger runs on an absolute grid regardless of the gate, exactly
+	// like the PINGER -> INTERMITTENT composition in the simulator.
+	NextCross time.Duration
+	// NextToggle is the next switch *opportunity* (inference discretizes
+	// the memoryless gate to a grid of opportunities; see AdvanceEnum).
+	NextToggle time.Duration
+	// SwitchTick is the spacing of toggle opportunities.
+	SwitchTick time.Duration
+
+	// Serving reports whether a packet occupies the link.
+	Serving bool
+	// InService is that packet.
+	InService QPkt
+	// ServiceDone is the absolute time the in-service packet departs
+	// the link.
+	ServiceDone time.Duration
+	// Queue holds the waiting packets (head = next to serve); the
+	// in-service packet is not in Queue, matching elements.Buffer.
+	Queue []QPkt
+	// QueueBits caches the occupancy of Queue.
+	QueueBits int64
+}
+
+// DefaultSwitchTick is the default spacing of discretized pinger switch
+// opportunities used by inference. With the paper's 100 s mean switch
+// time, a 1 s grid gives a ~1% toggle probability per opportunity.
+const DefaultSwitchTick = time.Second
+
+// Initial returns the hypothesis's state at time zero: the buffer holds
+// InitFullBits of filler (quantized to whole packets), the link starts
+// serving the head filler packet if any, and the pinger's first emission
+// is one interval away.
+func Initial(p Params, pingerOn bool) State {
+	s := State{
+		P:          p,
+		PingerOn:   pingerOn,
+		NextCross:  p.CrossInterval(),
+		NextToggle: DefaultSwitchTick,
+		SwitchTick: DefaultSwitchTick,
+	}
+	pkt := p.PktBits()
+	for filled := int64(0); filled+pkt <= p.InitFullBits; filled += pkt {
+		s.enqueue(QPkt{Own: false, Seq: -1, Bits: pkt}, nil)
+	}
+	return s
+}
+
+// Clone returns an independent copy of the state.
+func (s *State) Clone() State {
+	c := *s
+	c.Queue = append([]QPkt(nil), s.Queue...)
+	return c
+}
+
+// InFlightOwn reports how many own packets currently occupy the buffer or
+// the link.
+func (s *State) InFlightOwn() int {
+	n := 0
+	if s.Serving && s.InService.Own {
+		n++
+	}
+	for _, q := range s.Queue {
+		if q.Own {
+			n++
+		}
+	}
+	return n
+}
+
+// SystemBits reports the total bits in the buffer plus in service: the
+// quantity whose drain time bounds "how long consequences linger".
+func (s *State) SystemBits() int64 {
+	b := s.QueueBits
+	if s.Serving {
+		b += s.InService.Bits
+	}
+	return b
+}
+
+// enqueue admits a packet to the buffer/link, appending any resulting
+// event to out (which may be nil when the caller doesn't care, e.g.
+// during Initial prefill). Tail-drop semantics match elements.Buffer: the
+// in-service packet does not count against capacity.
+func (s *State) enqueue(q QPkt, out *[]Event) {
+	q.EnqueuedAt = s.Now
+	if !s.Serving {
+		s.startService(q)
+		return
+	}
+	if s.QueueBits+q.Bits > s.P.BufferCapBits {
+		if out != nil {
+			kind := CrossBufferDrop
+			if q.Own {
+				kind = OwnBufferDrop
+			}
+			*out = append(*out, Event{Kind: kind, Seq: q.Seq, At: s.Now, Bits: q.Bits})
+		}
+		return
+	}
+	s.Queue = append(s.Queue, q)
+	s.QueueBits += q.Bits
+}
+
+func (s *State) startService(q QPkt) {
+	s.Serving = true
+	s.InService = q
+	s.ServiceDone = s.Now + units.TransmitTime(q.Bits, s.P.LinkRate)
+}
+
+// departHead completes the in-service packet: it leaves the link, passes
+// (conceptually) into the LOSS element, and the next queued packet starts
+// serializing.
+func (s *State) departHead(out *[]Event) {
+	q := s.InService
+	s.Now = s.ServiceDone
+	s.Serving = false
+	kind := CrossDelivered
+	if q.Own {
+		kind = OwnDelivered
+	}
+	if out != nil {
+		*out = append(*out, Event{
+			Kind:  kind,
+			Seq:   q.Seq,
+			At:    s.receiverClock(s.Now),
+			Bits:  q.Bits,
+			Delay: s.Now - q.EnqueuedAt,
+		})
+	}
+	if len(s.Queue) > 0 {
+		head := s.Queue[0]
+		copy(s.Queue, s.Queue[1:])
+		s.Queue = s.Queue[:len(s.Queue)-1]
+		s.QueueBits -= head.Bits
+		s.startService(head)
+	}
+}
+
+// receiverClock maps sender time to the receiver's clock.
+func (s *State) receiverClock(t time.Duration) time.Duration {
+	if s.P.ClockSkew == 0 {
+		return t
+	}
+	return units.SecondsToDuration(t.Seconds() * (1 + s.P.ClockSkew))
+}
+
+// Run advances the state to `until`, processing link completions, pinger
+// emissions, and the scheduled sends, WITHOUT any gate toggles — the
+// caller controls toggle points (AdvanceEnum forks at them; Truth samples
+// them; planner rollouts freeze them). Sends must be sorted by At and lie
+// in (s.Now-ε, until]; a send in the past panics. Events are appended to
+// out.
+func (s *State) Run(until time.Duration, sends []Send, out *[]Event) {
+	si := 0
+	for {
+		// Next event among: service completion, cross emission, send.
+		next := until + 1
+		kind := -1
+		if s.Serving && s.ServiceDone <= until && s.ServiceDone < next {
+			next, kind = s.ServiceDone, 0
+		}
+		if s.NextCross <= until && s.NextCross < next {
+			next, kind = s.NextCross, 1
+		}
+		if si < len(sends) && sends[si].At <= until && sends[si].At < next {
+			next, kind = sends[si].At, 2
+		}
+		if kind == -1 {
+			break
+		}
+		switch kind {
+		case 0:
+			s.departHead(out)
+		case 1:
+			s.Now = s.NextCross
+			s.NextCross += s.P.CrossInterval()
+			if s.PingerOn {
+				s.enqueue(QPkt{Own: false, Seq: -1, Bits: s.P.PktBits()}, out)
+			}
+		case 2:
+			snd := sends[si]
+			si++
+			if snd.At < s.Now {
+				panic("model: send scheduled in the hypothesis's past")
+			}
+			s.Now = snd.At
+			bits := snd.Bits
+			if bits <= 0 {
+				bits = s.P.PktBits()
+			}
+			s.enqueue(QPkt{Own: true, Seq: snd.Seq, Bits: bits}, out)
+		}
+	}
+	if s.Now < until {
+		s.Now = until
+	}
+}
+
+// Toggle flips the INTERMITTENT gate.
+func (s *State) Toggle() { s.PingerOn = !s.PingerOn }
+
+// Key returns a canonical encoding of the hypothesis for compaction: two
+// states with equal keys are behaviorally identical forever and may be
+// merged, summing their weights (§3.2 "compacted back into one state").
+func (s *State) Key() string {
+	buf := make([]byte, 0, 64+12*len(s.Queue))
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	put(uint64(s.ParamsID))
+	put(uint64(s.Now))
+	if s.PingerOn {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	put(uint64(s.NextCross))
+	put(uint64(s.NextToggle))
+	if s.Serving {
+		buf = append(buf, 1)
+		put(uint64(s.ServiceDone))
+		put(uint64(s.InService.Seq))
+		put(uint64(s.InService.Bits))
+		if s.InService.Own {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	} else {
+		buf = append(buf, 0)
+	}
+	for _, q := range s.Queue {
+		put(uint64(q.Seq))
+		put(uint64(q.Bits))
+		if q.Own {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return string(buf)
+}
+
+// Branch is one weighted outcome of advancing a hypothesis with
+// enumeration of gate toggles.
+type Branch struct {
+	// S is the post-advance state.
+	S State
+	// W is the branch's probability given the pre-advance state
+	// (product of toggle/stay probabilities along the branch).
+	W float64
+	// Events are the packet outcomes along the branch, in time order.
+	Events []Event
+}
+
+// AdvanceEnum advances a hypothesis to `until`, forking at every
+// discretized switch opportunity: at each grid point the gate toggles
+// with probability q = 1-exp(-tick/mean) and stays with 1-q. The
+// returned branches' weights sum to 1 (up to float rounding). Sends must
+// be sorted by At.
+//
+// This is the paper's "nondeterministic element may fork the model into
+// two possibilities" (§3.2) applied to INTERMITTENT. LOSS deliberately
+// does not fork here: it is last-mile, so it cannot affect any future
+// observable timing — the belief applies its probability directly to
+// observation likelihoods instead (§3.2's remark that last-mile loss
+// "does not linger").
+func AdvanceEnum(s State, until time.Duration, sends []Send) []Branch {
+	type item struct {
+		br Branch
+		si int // index of the first unconsumed send
+	}
+	// consume returns the sends with At <= segEnd starting at index si.
+	consume := func(si int, segEnd time.Duration) ([]Send, int) {
+		hi := si
+		for hi < len(sends) && sends[hi].At <= segEnd {
+			hi++
+		}
+		return sends[si:hi], hi
+	}
+	work := []item{{br: Branch{S: s.Clone(), W: 1}}}
+	var done []Branch
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := &it.br.S
+		if st.SwitchTick <= 0 || st.P.MeanSwitch <= 0 || st.NextToggle > until {
+			seg, _ := consume(it.si, until)
+			st.Run(until, seg, &it.br.Events)
+			done = append(done, it.br)
+			continue
+		}
+		// Run to the next opportunity, then fork.
+		at := st.NextToggle
+		seg, si := consume(it.si, at)
+		st.Run(at, seg, &it.br.Events)
+		it.si = si
+		st.NextToggle += st.SwitchTick
+		q := toggleProb(st.SwitchTick, st.P.MeanSwitch)
+		if q <= 0 {
+			work = append(work, it)
+			continue
+		}
+		flipped := item{
+			br: Branch{
+				S:      st.Clone(),
+				W:      it.br.W * q,
+				Events: append([]Event(nil), it.br.Events...),
+			},
+			si: si,
+		}
+		flipped.br.S.Toggle()
+		it.br.W *= 1 - q
+		work = append(work, it, flipped)
+	}
+	return done
+}
+
+// toggleProb is the probability that a memoryless gate with the given
+// mean switching time toggles within one tick.
+func toggleProb(tick, mean time.Duration) float64 {
+	if mean <= 0 || tick <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-tick.Seconds()/mean.Seconds())
+}

@@ -1,0 +1,295 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+// fixedParams is a deterministic configuration: no cross traffic, no
+// loss, no switching.
+func fixedParams() Params {
+	return Params{
+		LinkRate:      12000,
+		BufferCapBits: 96000,
+	}
+}
+
+func collect(s *State, until time.Duration, sends []Send) []Event {
+	var out []Event
+	s.Run(until, sends, &out)
+	return out
+}
+
+func ownDeliveries(evs []Event) []Event {
+	var out []Event
+	for _, e := range evs {
+		if e.Kind == OwnDelivered {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestRunDeliversAtLinkRate(t *testing.T) {
+	s := Initial(fixedParams(), false)
+	sends := []Send{{Seq: 0, At: 0}, {Seq: 1, At: 0}, {Seq: 2, At: 0}}
+	evs := ownDeliveries(collect(&s, 10*time.Second, sends))
+	if len(evs) != 3 {
+		t.Fatalf("deliveries = %d, want 3", len(evs))
+	}
+	for i, e := range evs {
+		want := time.Duration(i+1) * time.Second
+		if e.At != want || e.Seq != int64(i) {
+			t.Errorf("delivery %d: seq=%d at=%v, want seq=%d at=%v", i, e.Seq, e.At, i, want)
+		}
+	}
+	if s.Now != 10*time.Second {
+		t.Errorf("Now = %v, want 10s", s.Now)
+	}
+}
+
+func TestRunTailDrop(t *testing.T) {
+	s := Initial(fixedParams(), false)
+	// 1 in service + 8 queued fill the system; sends 9..11 drop.
+	var sends []Send
+	for i := int64(0); i < 12; i++ {
+		sends = append(sends, Send{Seq: i, At: 0})
+	}
+	evs := collect(&s, time.Second/2, sends)
+	drops := 0
+	for _, e := range evs {
+		if e.Kind == OwnBufferDrop {
+			drops++
+			if e.Seq < 9 {
+				t.Errorf("dropped early packet %d", e.Seq)
+			}
+		}
+	}
+	if drops != 3 {
+		t.Fatalf("drops = %d, want 3", drops)
+	}
+	if s.QueueBits != 96000 {
+		t.Errorf("queue bits = %d, want 96000 (full)", s.QueueBits)
+	}
+}
+
+func TestInitialFullness(t *testing.T) {
+	p := fixedParams()
+	p.InitFullBits = 96000
+	s := Initial(p, false)
+	// One filler is immediately in service, 7 wait: the constructor
+	// fills exactly InitFullBits/pkt packets into the system.
+	if !s.Serving {
+		t.Fatal("initial fullness did not start service")
+	}
+	if got := s.SystemBits(); got != 96000 {
+		t.Errorf("system bits = %d, want 96000", got)
+	}
+	// My packet sent at t=0 queues behind all filler: delivered at 9s
+	// (8 fillers serialize by 8s, mine is the 9th).
+	evs := ownDeliveries(collect(&s, 20*time.Second, []Send{{Seq: 0, At: 0}}))
+	if len(evs) != 1 || evs[0].At != 9*time.Second {
+		t.Fatalf("delivery behind full buffer: %+v, want at 9s", evs)
+	}
+}
+
+func TestCrossTrafficSharesLink(t *testing.T) {
+	p := fixedParams()
+	p.CrossRate = 6000 // one cross packet every 2s
+	s := Initial(p, true)
+	// My packet sent at 2.5s arrives after the cross packet emitted at
+	// 2s finishes (cross enters service at 2s, done 3s; mine at 3.5... let
+	// the mechanics decide; just check ordering and that cross events
+	// appear.
+	evs := collect(&s, 6*time.Second, []Send{{Seq: 0, At: 2500 * time.Millisecond}})
+	var cross, own int
+	var ownAt time.Duration
+	for _, e := range evs {
+		switch e.Kind {
+		case CrossDelivered:
+			cross++
+		case OwnDelivered:
+			own++
+			ownAt = e.At
+		}
+	}
+	if cross == 0 {
+		t.Fatal("no cross deliveries despite pinger on")
+	}
+	if own != 1 {
+		t.Fatalf("own deliveries = %d, want 1", own)
+	}
+	// Cross packet emitted at 2s serves 2s..3s; mine arrives 2.5s, waits,
+	// serves 3s..4s.
+	if ownAt != 4*time.Second {
+		t.Errorf("own delivery at %v, want 4s (queued behind cross)", ownAt)
+	}
+}
+
+func TestPingerGatedWhenOff(t *testing.T) {
+	p := fixedParams()
+	p.CrossRate = 6000
+	s := Initial(p, false)
+	evs := collect(&s, 10*time.Second, nil)
+	if len(evs) != 0 {
+		t.Fatalf("gated pinger produced events: %+v", evs)
+	}
+	// The pinger's absolute grid keeps ticking while gated.
+	if s.NextCross <= 10*time.Second {
+		t.Errorf("NextCross = %v, want > 10s", s.NextCross)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := fixedParams()
+	s := Initial(p, false)
+	collect(&s, time.Second/4, []Send{{Seq: 0, At: 0}, {Seq: 1, At: 0}})
+	c := s.Clone()
+	collect(&s, 5*time.Second, []Send{{Seq: 2, At: time.Second}})
+	// The clone must be unaffected by advancing the original.
+	if c.Now != time.Second/4 {
+		t.Errorf("clone Now = %v", c.Now)
+	}
+	if len(c.Queue) != 1 || c.Queue[0].Seq != 1 {
+		t.Errorf("clone queue corrupted: %+v", c.Queue)
+	}
+}
+
+func TestKeyDistinguishesAndMatches(t *testing.T) {
+	p := fixedParams()
+	a := Initial(p, false)
+	b := Initial(p, false)
+	if a.Key() != b.Key() {
+		t.Error("identical states have different keys")
+	}
+	b2 := Initial(p, true)
+	if a.Key() == b2.Key() {
+		t.Error("gate state not reflected in key")
+	}
+	c := Initial(p, false)
+	c.ParamsID = 7
+	if a.Key() == c.Key() {
+		t.Error("ParamsID not reflected in key")
+	}
+	d := a.Clone()
+	collect(&d, time.Second, []Send{{Seq: 0, At: 0}})
+	if a.Key() == d.Key() {
+		t.Error("dynamic state not reflected in key")
+	}
+}
+
+func TestClockSkew(t *testing.T) {
+	p := fixedParams()
+	p.ClockSkew = 0.5
+	s := Initial(p, false)
+	evs := ownDeliveries(collect(&s, 5*time.Second, []Send{{Seq: 0, At: 0}}))
+	if len(evs) != 1 {
+		t.Fatal("no delivery")
+	}
+	if evs[0].At != 1500*time.Millisecond {
+		t.Errorf("skewed delivery at %v, want 1.5s", evs[0].At)
+	}
+}
+
+func TestSendInPastPanics(t *testing.T) {
+	s := Initial(fixedParams(), false)
+	collect(&s, 5*time.Second, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("send in the past did not panic")
+		}
+	}()
+	collect(&s, 10*time.Second, []Send{{Seq: 0, At: time.Second}})
+}
+
+func TestAdvanceEnumNoSwitchingSingleBranch(t *testing.T) {
+	p := fixedParams() // MeanSwitch 0: never forks
+	s := Initial(p, false)
+	brs := AdvanceEnum(s, 10*time.Second, []Send{{Seq: 0, At: 0}})
+	if len(brs) != 1 {
+		t.Fatalf("branches = %d, want 1", len(brs))
+	}
+	if brs[0].W != 1 {
+		t.Errorf("weight = %v, want 1", brs[0].W)
+	}
+	if len(ownDeliveries(brs[0].Events)) != 1 {
+		t.Error("missing delivery in branch")
+	}
+}
+
+func TestAdvanceEnumForksAndWeightsSum(t *testing.T) {
+	p := fixedParams()
+	p.CrossRate = 8400
+	p.MeanSwitch = 100 * time.Second
+	s := Initial(p, true)
+	brs := AdvanceEnum(s, 3*time.Second, nil) // 3 toggle opportunities
+	if len(brs) != 8 {
+		t.Fatalf("branches = %d, want 2^3 = 8", len(brs))
+	}
+	var sum float64
+	for _, b := range brs {
+		sum += b.W
+	}
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Errorf("branch weights sum to %v, want 1", sum)
+	}
+	// The all-stay branch dominates: q ≈ 1% per opportunity.
+	var maxW float64
+	for _, b := range brs {
+		if b.W > maxW {
+			maxW = b.W
+		}
+	}
+	if maxW < 0.95 {
+		t.Errorf("dominant branch weight %v, want ~0.97", maxW)
+	}
+}
+
+func TestAdvanceEnumSendAtBoundaryConsumedOnce(t *testing.T) {
+	p := fixedParams()
+	p.MeanSwitch = 100 * time.Second
+	s := Initial(p, true)
+	// Send exactly at the first toggle opportunity (1s). Each branch
+	// must deliver it exactly once.
+	brs := AdvanceEnum(s, 5*time.Second, []Send{{Seq: 0, At: time.Second}})
+	for _, b := range brs {
+		if n := len(ownDeliveries(b.Events)); n != 1 {
+			t.Fatalf("branch delivered the boundary send %d times, want 1", n)
+		}
+	}
+}
+
+func TestToggleProb(t *testing.T) {
+	if got := toggleProb(time.Second, 0); got != 0 {
+		t.Errorf("toggleProb(1s, 0) = %v, want 0", got)
+	}
+	got := toggleProb(time.Second, 100*time.Second)
+	if got < 0.0099 || got > 0.0101 {
+		t.Errorf("toggleProb(1s, 100s) = %v, want ~0.00995", got)
+	}
+	// Monotone in tick length.
+	if toggleProb(2*time.Second, 100*time.Second) <= got {
+		t.Error("toggleProb not monotone in tick")
+	}
+}
+
+func TestParamsHelpers(t *testing.T) {
+	p := Fig2Actual()
+	if p.PktBits() != 12000 {
+		t.Errorf("PktBits = %d", p.PktBits())
+	}
+	if p.ServiceTime() != time.Second {
+		t.Errorf("ServiceTime = %v, want 1s (one packet per second)", p.ServiceTime())
+	}
+	ci := p.CrossInterval()
+	ratio := 12000.0 / 8400.0
+	want := time.Duration(float64(time.Second) * ratio)
+	if diff := ci - want; diff > time.Microsecond || diff < -time.Microsecond {
+		t.Errorf("CrossInterval = %v, want ~%v", ci, want)
+	}
+	var noCross Params
+	noCross.LinkRate = 12000
+	if noCross.CrossInterval() <= 300*time.Hour {
+		t.Error("zero cross rate should give effectively infinite interval")
+	}
+}

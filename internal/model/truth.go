@@ -1,0 +1,157 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"modelcc/internal/units"
+)
+
+// GateSchedule controls how a Truth's INTERMITTENT gate actually behaves.
+// The paper's Figure 3 experiment deliberately violates the sender's
+// model: the ISENDER believes the gate is memoryless with a 100 s mean,
+// but "in reality we switch deterministically every 100 seconds".
+type GateSchedule uint8
+
+// Gate schedules.
+const (
+	// GateMemoryless switches with exponential holding times of mean
+	// Params.MeanSwitch — the behaviour the model assumes.
+	GateMemoryless GateSchedule = iota
+	// GateSquareWave toggles deterministically every HalfPeriod — the
+	// paper's ground truth.
+	GateSquareWave
+	// GateFixed never switches.
+	GateFixed
+)
+
+// Truth is the actual network: the same mechanics as a hypothesis State,
+// but nondeterminism is *sampled* from a seeded RNG instead of
+// enumerated. It produces the real packet outcomes that become the
+// ISENDER's observations.
+type Truth struct {
+	// S is the underlying network state.
+	S   State
+	rng *rand.Rand
+
+	schedule   GateSchedule
+	halfPeriod time.Duration
+	nextToggle time.Duration
+
+	// Stats accumulated over the run, for experiment reporting.
+	OwnDeliveredN      int
+	OwnLostN           int
+	OwnBufferDropN     int
+	CrossDeliveredN    int
+	CrossLostN         int
+	CrossBufferDropN   int
+	CrossDeliveredBits int64
+}
+
+// NewTruth returns the real network with the given actual parameters,
+// gate schedule, and RNG. For GateSquareWave, halfPeriod sets the toggle
+// interval (the gate starts connected if pingerOn). For GateMemoryless
+// the first holding time is drawn immediately.
+func NewTruth(p Params, pingerOn bool, schedule GateSchedule, halfPeriod time.Duration, rng *rand.Rand) *Truth {
+	t := &Truth{
+		S:          Initial(p, pingerOn),
+		rng:        rng,
+		schedule:   schedule,
+		halfPeriod: halfPeriod,
+	}
+	// The truth does not use the inference grid.
+	t.S.SwitchTick = 0
+	switch schedule {
+	case GateSquareWave:
+		t.nextToggle = halfPeriod
+	case GateMemoryless:
+		t.nextToggle = t.drawHold()
+	case GateFixed:
+		t.nextToggle = units.Forever
+	}
+	return t
+}
+
+func (t *Truth) drawHold() time.Duration {
+	if t.S.P.MeanSwitch <= 0 {
+		return units.Forever
+	}
+	u := t.rng.Float64()
+	return t.S.Now + units.SecondsToDuration(-math.Log(1-u)*t.S.P.MeanSwitch.Seconds())
+}
+
+// PingerOn reports the actual gate state.
+func (t *Truth) PingerOn() bool { return t.S.PingerOn }
+
+// NextTransition reports the earliest future instant at which the real
+// network does something on its own: a service completion (a potential
+// acknowledgment), a pinger emission, or a gate toggle. Experiment
+// runners advance the truth in exact steps to min(NextTransition, next
+// sender wakeup), so no event is ever skipped over.
+func (t *Truth) NextTransition() time.Duration {
+	next := t.nextToggle
+	if t.S.Serving && t.S.ServiceDone < next {
+		next = t.S.ServiceDone
+	}
+	if t.S.NextCross < next {
+		next = t.S.NextCross
+	}
+	return next
+}
+
+// AdvanceTo advances the real network to `until`, injecting the given
+// own-packet sends (sorted by At), and returns the actual packet events.
+// OwnDelivered/CrossDelivered events have already survived the LOSS
+// element — losses are reported as OwnLost/CrossLost.
+func (t *Truth) AdvanceTo(until time.Duration, sends []Send) []Event {
+	var raw []Event
+	si := 0
+	for t.nextToggle <= until {
+		at := t.nextToggle
+		hi := si
+		for hi < len(sends) && sends[hi].At <= at {
+			hi++
+		}
+		t.S.Run(at, sends[si:hi], &raw)
+		si = hi
+		t.S.Toggle()
+		switch t.schedule {
+		case GateSquareWave:
+			t.nextToggle += t.halfPeriod
+		case GateMemoryless:
+			t.nextToggle = t.drawHold()
+		default:
+			t.nextToggle = units.Forever
+		}
+	}
+	t.S.Run(until, sends[si:], &raw)
+
+	// Apply last-mile loss to deliveries.
+	out := make([]Event, 0, len(raw))
+	for _, ev := range raw {
+		switch ev.Kind {
+		case OwnDelivered:
+			if t.rng.Float64() < t.S.P.LossProb {
+				ev.Kind = OwnLost
+				t.OwnLostN++
+			} else {
+				t.OwnDeliveredN++
+			}
+		case CrossDelivered:
+			if t.rng.Float64() < t.S.P.LossProb {
+				ev.Kind = CrossLost
+				t.CrossLostN++
+			} else {
+				t.CrossDeliveredN++
+				t.CrossDeliveredBits += ev.Bits
+			}
+		case OwnBufferDrop:
+			t.OwnBufferDropN++
+		case CrossBufferDrop:
+			t.CrossBufferDropN++
+		}
+		out = append(out, ev)
+	}
+	return out
+}

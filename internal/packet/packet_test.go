@@ -1,0 +1,54 @@
+package packet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPacketBits(t *testing.T) {
+	p := New(FlowSelf, 0, 0)
+	if p.SizeBytes != DefaultSizeBytes {
+		t.Fatalf("default size = %d, want %d", p.SizeBytes, DefaultSizeBytes)
+	}
+	if p.Bits() != DefaultSizeBits {
+		t.Fatalf("Bits() = %d, want %d", p.Bits(), DefaultSizeBits)
+	}
+	if DefaultSizeBits != 12000 {
+		t.Fatalf("paper invariant violated: default packet is %d bits, want 12000", DefaultSizeBits)
+	}
+}
+
+func TestFlowString(t *testing.T) {
+	tests := []struct {
+		f    FlowID
+		want string
+	}{
+		{FlowSelf, "self"},
+		{FlowCross, "cross"},
+		{FlowOther, "other"},
+		{FlowID(9), "flow(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.f.String(); got != tt.want {
+			t.Errorf("FlowID(%d).String() = %q, want %q", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestAckDelay(t *testing.T) {
+	a := Ack{Flow: FlowSelf, Seq: 3, SentAt: time.Second, ReceivedAt: 3 * time.Second}
+	if got := a.Delay(); got != 2*time.Second {
+		t.Errorf("Delay() = %v, want 2s", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	p := New(FlowCross, 7, 2*time.Second)
+	if got := p.String(); got != "cross#7(1500B@2s)" {
+		t.Errorf("Packet.String() = %q", got)
+	}
+	a := Ack{Flow: FlowSelf, Seq: 1, ReceivedAt: time.Second}
+	if got := a.String(); got != "ack self#1 rcv=1s" {
+		t.Errorf("Ack.String() = %q", got)
+	}
+}

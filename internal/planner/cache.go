@@ -1,0 +1,138 @@
+package planner
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/model"
+)
+
+// PolicyCache memoizes decisions by belief fingerprint, realizing §3.3's
+// observation that "for a particular model and distribution of possible
+// states, there will be a policy that can be computed in advance". The
+// fingerprint is translation-invariant: all absolute times inside the
+// hypotheses are encoded relative to the decision instant, so the
+// recurring situations of steady state (empty queue, link idle, same
+// posterior) hit the cache even though wall-clock time differs.
+//
+// Weights are quantized to 1e-6 in the fingerprint; two beliefs that
+// differ by less plan identically for all practical purposes.
+type PolicyCache struct {
+	entries map[uint64]cachedDecision
+	// Hits and Misses count lookups, for the ablation benchmark.
+	Hits, Misses int
+	// MaxEntries bounds memory; the cache resets when full (decisions
+	// are cheap to recompute relative to tracking LRU order).
+	MaxEntries int
+}
+
+type cachedDecision struct {
+	sendNow bool
+	delta   time.Duration // WakeAt - now
+	gain    float64
+}
+
+// NewPolicyCache returns an empty cache bounded to maxEntries (<= 0
+// means a generous default).
+func NewPolicyCache(maxEntries int) *PolicyCache {
+	if maxEntries <= 0 {
+		maxEntries = 1 << 16
+	}
+	return &PolicyCache{entries: make(map[uint64]cachedDecision), MaxEntries: maxEntries}
+}
+
+// Decide is a caching wrapper around Decide: on a fingerprint hit it
+// returns the memoized action rebased to `now`.
+func (pc *PolicyCache) Decide(sup []belief.Hypothesis, pending []model.Send, now time.Duration, seq int64, cfg Config) Decision {
+	fp := fingerprint(sup, pending, now)
+	if d, ok := pc.entries[fp]; ok {
+		pc.Hits++
+		return Decision{
+			SendNow:    d.sendNow,
+			WakeAt:     now + d.delta,
+			Gain:       d.gain,
+			Candidates: 0,
+			Support:    len(sup),
+		}
+	}
+	pc.Misses++
+	d := Decide(sup, pending, now, seq, cfg)
+	if len(pc.entries) >= pc.MaxEntries {
+		pc.entries = make(map[uint64]cachedDecision)
+	}
+	pc.entries[fp] = cachedDecision{sendNow: d.SendNow, delta: d.WakeAt - now, gain: d.Gain}
+	return d
+}
+
+// fingerprint hashes the support and pending sends with all times
+// rebased to now. Sequence numbers are deliberately excluded: the policy
+// depends on the network posterior, not on which packet is next.
+func fingerprint(sup []belief.Hypothesis, pending []model.Send, now time.Duration) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	putU := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	// Times far beyond the planning horizon are behaviourally
+	// equivalent ("never"); clamping them keeps e.g. a no-cross-traffic
+	// hypothesis (NextCross = Forever) fingerprint-stable across wakes.
+	const farFuture = time.Hour
+	putD := func(d time.Duration) {
+		if d > farFuture {
+			d = farFuture
+		}
+		if d < -farFuture {
+			d = -farFuture
+		}
+		putU(uint64(int64(d)))
+	}
+	putU(uint64(len(sup)))
+	for _, hyp := range sup {
+		s := &hyp.S
+		putU(uint64(s.ParamsID))
+		putU(uint64(int64(hyp.W * 1e6)))
+		if s.PingerOn {
+			putU(1)
+		} else {
+			putU(0)
+		}
+		putD(s.NextCross - now)
+		if s.P.MeanSwitch <= 0 || s.SwitchTick <= 0 {
+			// The gate can never toggle: NextToggle is inert state and
+			// must not perturb the fingerprint.
+			putD(farFuture)
+		} else {
+			putD(s.NextToggle - now)
+		}
+		if s.Serving {
+			putU(1)
+			putD(s.ServiceDone - now)
+			putU(uint64(s.InService.Bits))
+			if s.InService.Own {
+				putU(1)
+			} else {
+				putU(0)
+			}
+		} else {
+			putU(0)
+		}
+		putU(uint64(len(s.Queue)))
+		for _, q := range s.Queue {
+			putU(uint64(q.Bits))
+			if q.Own {
+				putU(1)
+			} else {
+				putU(0)
+			}
+		}
+	}
+	putU(uint64(len(pending)))
+	for _, snd := range pending {
+		putD(snd.At - now)
+		putU(uint64(snd.Bits))
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,190 @@
+// Package planner implements the ISENDER's action selection (§3.2–3.3):
+// at every wakeup it "makes a list of strategies including sending
+// immediately and at every delay up to the slowest rate", evaluates the
+// consequences of each strategy on each possible network configuration,
+// and chooses the strategy maximizing the expected utility.
+//
+// A strategy is "inject the next packet at now+δ" for δ on a grid from 0
+// to MaxDelay. For each hypothesis the planner clones the state and rolls
+// it forward deterministically (gate frozen, loss in expectation — see
+// DESIGN.md for why these planning approximations do not change the
+// argmax in the paper's configurations), accumulating the utility of all
+// own and cross deliveries over a common horizon. Candidate utilities are
+// measured relative to the no-send rollout of the same hypothesis, which
+// keeps the differences well-conditioned: the large cross-traffic
+// background term cancels exactly.
+//
+// Ties break toward the longest delay. This is what turns the utility
+// maximization into pacing: when the queue already guarantees a packet's
+// delivery time, sending it any earlier buys nothing, so the sender
+// waits — and it is also why an α ≥ 1 sender never overflows the buffer
+// (Figure 3's headline behaviour).
+package planner
+
+import (
+	"sort"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/model"
+	"modelcc/internal/utility"
+)
+
+// Config tunes the planner.
+type Config struct {
+	// Util is the utility function being maximized.
+	Util utility.Config
+	// MaxDelay bounds the candidate grid: the longest the sender will
+	// commit to sleeping before re-deciding. The default, 2.4 s, is two
+	// packet times at the slowest prior link rate in the paper's
+	// experiment (10 kbit/s), honouring "every delay up to the slowest
+	// rate the ISENDER could optimally send".
+	MaxDelay time.Duration
+	// Grid is the candidate spacing (default 200 ms).
+	Grid time.Duration
+	// Horizon extends each rollout beyond the last candidate send so
+	// that queued consequences (displaced cross packets, induced drops)
+	// are counted — the paper's "until the consequences of each
+	// hypothetically sent packet have ceased to linger". The default,
+	// 30 s, covers the drain of the largest prior buffer plus the
+	// displacement tail a sent packet pushes through the cross traffic.
+	Horizon time.Duration
+	// MaxHyps plans against at most this many of the heaviest
+	// hypotheses, renormalized (default 256). Planning cost is linear
+	// in it; the discarded tail carries negligible posterior mass.
+	MaxHyps int
+}
+
+// DefaultConfig returns the planning parameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Util:     utility.Default(),
+		MaxDelay: 2400 * time.Millisecond,
+		Grid:     200 * time.Millisecond,
+		Horizon:  40 * time.Second,
+		MaxHyps:  256,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = d.MaxDelay
+	}
+	if c.Grid <= 0 {
+		c.Grid = d.Grid
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = d.Horizon
+	}
+	if c.MaxHyps <= 0 {
+		c.MaxHyps = d.MaxHyps
+	}
+	if c.Util.Kappa <= 0 {
+		c.Util.Kappa = d.Util.Kappa
+	}
+	return c
+}
+
+// Decision is the planner's chosen action.
+type Decision struct {
+	// SendNow is true when the best strategy is to inject immediately.
+	SendNow bool
+	// WakeAt is the absolute time to re-decide when not sending now
+	// (the chosen δ's send time; the sender re-plans on wake, so an
+	// acknowledgment arriving earlier simply re-decides sooner).
+	WakeAt time.Duration
+	// Gain is the chosen candidate's expected utility advantage over
+	// the no-send baseline.
+	Gain float64
+	// Candidates is how many delays were evaluated.
+	Candidates int
+	// Support is how many hypotheses the plan was computed against.
+	Support int
+}
+
+// Decide selects the expected-utility-maximizing action at `now` for the
+// packet with sequence number seq. pending are sends already committed
+// but not yet folded into the belief (they are replayed in every
+// rollout, so successive decisions within one wakeup see each other's
+// queue occupancy).
+func Decide(sup []belief.Hypothesis, pending []model.Send, now time.Duration, seq int64, cfg Config) Decision {
+	cfg = cfg.withDefaults()
+	hyps := topK(sup, cfg.MaxHyps)
+
+	horizonEnd := now + cfg.MaxDelay + cfg.Horizon
+
+	// Per-hypothesis no-send baseline.
+	base := make([]float64, len(hyps))
+	var evs []model.Event
+	for i, h := range hyps {
+		st := h.S.Clone()
+		evs = evs[:0]
+		st.Run(horizonEnd, pending, &evs)
+		base[i] = cfg.Util.OfPredicted(evs, now, st.P.LossProb)
+	}
+
+	bestDelta := 0
+	bestGain := negInf
+	candidates := 0
+	sends := make([]model.Send, 0, len(pending)+1)
+	for delta := time.Duration(0); delta <= cfg.MaxDelay; delta += cfg.Grid {
+		candidates++
+		sendAt := now + delta
+		sends = sends[:0]
+		// pending are all <= now <= sendAt, so ordering holds.
+		sends = append(sends, pending...)
+		sends = append(sends, model.Send{Seq: seq, At: sendAt})
+
+		var gain float64
+		for i, h := range hyps {
+			st := h.S.Clone()
+			evs = evs[:0]
+			st.Run(horizonEnd, sends, &evs)
+			u := cfg.Util.OfPredicted(evs, now, st.P.LossProb)
+			gain += h.W * (u - base[i])
+		}
+		// Strict improvement keeps δ=0 only when genuinely better;
+		// equality prefers the later candidate (pacing).
+		if gain >= bestGain {
+			bestGain = gain
+			bestDelta = int(delta / cfg.Grid)
+		}
+	}
+
+	d := Decision{
+		Gain:       bestGain,
+		Candidates: candidates,
+		Support:    len(hyps),
+	}
+	if bestDelta == 0 {
+		d.SendNow = true
+		d.WakeAt = now
+		return d
+	}
+	d.WakeAt = now + time.Duration(bestDelta)*cfg.Grid
+	return d
+}
+
+const negInf = -1e308
+
+// topK returns the k heaviest hypotheses, renormalized. It copies; the
+// input order is preserved for k >= len.
+func topK(sup []belief.Hypothesis, k int) []belief.Hypothesis {
+	out := make([]belief.Hypothesis, len(sup))
+	copy(out, sup)
+	if len(out) > k {
+		sort.Slice(out, func(i, j int) bool { return out[i].W > out[j].W })
+		out = out[:k]
+	}
+	var total float64
+	for _, h := range out {
+		total += h.W
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].W /= total
+		}
+	}
+	return out
+}

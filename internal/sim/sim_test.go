@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	l := New(1)
+	var got []int
+	l.Schedule(3*time.Second, func() { got = append(got, 3) })
+	l.Schedule(1*time.Second, func() { got = append(got, 1) })
+	l.Schedule(2*time.Second, func() { got = append(got, 2) })
+	l.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if l.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", l.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	l := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	l.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	l := New(1)
+	fired := false
+	e := l.Schedule(time.Second, func() { fired = true })
+	l.Cancel(e)
+	l.RunAll()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling again, and cancelling nil, must be no-ops.
+	l.Cancel(e)
+	l.Cancel(nil)
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	l := New(1)
+	var e2 *Event
+	fired := false
+	l.Schedule(time.Second, func() { l.Cancel(e2) })
+	e2 = l.Schedule(2*time.Second, func() { fired = true })
+	l.RunAll()
+	if fired {
+		t.Error("event cancelled by an earlier event still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	l := New(1)
+	var got []int
+	l.Schedule(1*time.Second, func() { got = append(got, 1) })
+	l.Schedule(5*time.Second, func() { got = append(got, 5) })
+	n := l.Run(3 * time.Second)
+	if n != 1 || len(got) != 1 {
+		t.Fatalf("Run(3s) fired %d events (%v), want 1", n, got)
+	}
+	if l.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s (clock advances to the horizon)", l.Now())
+	}
+	l.Run(10 * time.Second)
+	if len(got) != 2 {
+		t.Errorf("second Run did not fire the remaining event")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	l := New(1)
+	l.Schedule(2*time.Second, func() {})
+	l.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling into the past did not panic")
+		}
+	}()
+	l.Schedule(time.Second, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	l := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	l.Schedule(time.Second, nil)
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	l := New(1)
+	l.Schedule(time.Second, func() {
+		fired := false
+		l.After(-5*time.Second, func() { fired = true })
+		// The clamped event runs at the current instant, later in the
+		// queue; step once more to pick it up.
+		if !l.Step() || !fired {
+			t.Error("After with negative delay did not fire at the current instant")
+		}
+	})
+	l.RunAll()
+}
+
+func TestDeterministicRand(t *testing.T) {
+	draw := func() []float64 {
+		l := New(42)
+		var out []float64
+		for i := 0; i < 16; i++ {
+			out = append(out, l.Rand().Float64())
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different random streams")
+		}
+	}
+}
+
+func TestSelfScheduling(t *testing.T) {
+	l := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			l.After(time.Second, tick)
+		}
+	}
+	l.After(time.Second, tick)
+	l.RunAll()
+	if count != 100 {
+		t.Errorf("ticker fired %d times, want 100", count)
+	}
+	if l.Now() != 100*time.Second {
+		t.Errorf("Now() = %v, want 100s", l.Now())
+	}
+}
+
+func TestTimerRearm(t *testing.T) {
+	l := New(1)
+	fires := 0
+	tm := NewTimer(l, func() { fires++ })
+	tm.Arm(5 * time.Second)
+	tm.Arm(2 * time.Second) // replaces the 5s deadline
+	if at, ok := tm.Deadline(); !ok || at != 2*time.Second {
+		t.Fatalf("Deadline() = %v,%v want 2s,true", at, ok)
+	}
+	l.RunAll()
+	if fires != 1 {
+		t.Errorf("timer fired %d times, want 1 (re-arm must replace)", fires)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	l := New(1)
+	fires := 0
+	tm := NewTimer(l, func() { fires++ })
+	tm.Arm(time.Second)
+	tm.Stop()
+	if tm.Armed() {
+		t.Error("stopped timer reports armed")
+	}
+	l.RunAll()
+	if fires != 0 {
+		t.Error("stopped timer fired")
+	}
+	// Stopping a stopped timer is fine.
+	tm.Stop()
+}
+
+func TestTimerArmAt(t *testing.T) {
+	l := New(1)
+	var firedAt time.Duration
+	tm := NewTimer(l, func() { firedAt = l.Now() })
+	tm.ArmAt(7 * time.Second)
+	l.RunAll()
+	if firedAt != 7*time.Second {
+		t.Errorf("timer fired at %v, want 7s", firedAt)
+	}
+}
+
+func TestPendingAndFired(t *testing.T) {
+	l := New(1)
+	l.Schedule(time.Second, func() {})
+	l.Schedule(2*time.Second, func() {})
+	if l.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", l.Pending())
+	}
+	l.RunAll()
+	if l.Fired() != 2 {
+		t.Errorf("Fired() = %d, want 2", l.Fired())
+	}
+	if l.Pending() != 0 {
+		t.Errorf("Pending() = %d after RunAll, want 0", l.Pending())
+	}
+}

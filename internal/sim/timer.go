@@ -1,0 +1,55 @@
+package sim
+
+import "time"
+
+// Timer is a re-armable single-shot timer bound to a Loop, the shape of
+// state the ISENDER's "sleep until time t" action needs (§3.2): arming it
+// again replaces the previous deadline, and Stop cancels it.
+//
+// The zero value is not usable; create one with NewTimer.
+type Timer struct {
+	loop *Loop
+	ev   *Event
+	fn   func()
+}
+
+// NewTimer returns a stopped timer that runs fn when it fires.
+func NewTimer(l *Loop, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil timer callback")
+	}
+	return &Timer{loop: l, fn: fn}
+}
+
+// ArmAt sets the timer to fire at absolute virtual time at, replacing any
+// previous deadline.
+func (t *Timer) ArmAt(at time.Duration) {
+	t.Stop()
+	t.ev = t.loop.Schedule(at, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Arm sets the timer to fire d from now, replacing any previous deadline.
+func (t *Timer) Arm(d time.Duration) { t.ArmAt(t.loop.Now() + d) }
+
+// Stop cancels the pending deadline, if any.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.loop.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer currently has a pending deadline.
+func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Cancelled() }
+
+// Deadline reports the pending deadline; ok is false when the timer is
+// stopped.
+func (t *Timer) Deadline() (at time.Duration, ok bool) {
+	if !t.Armed() {
+		return 0, false
+	}
+	return t.ev.At(), true
+}

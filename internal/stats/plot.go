@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// PlotConfig controls ASCII rendering.
+type PlotConfig struct {
+	// Width and Height are the plot area in characters.
+	Width, Height int
+	// Title is printed above the plot.
+	Title string
+	// YLabel names the value axis.
+	YLabel string
+	// LogY plots log10 of positive values (Figure 1 uses a log RTT
+	// axis).
+	LogY bool
+}
+
+// Plot renders one or more series into a character grid, one glyph per
+// series, with simple axes. It is deliberately dependency-free: the CLI
+// tools print the paper's figures straight to the terminal.
+func Plot(cfg PlotConfig, series ...*Series) string {
+	if cfg.Width <= 0 {
+		cfg.Width = 72
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 20
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+	// Bounds.
+	var tMin, tMax time.Duration
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Pts {
+			v := p.V
+			if cfg.LogY {
+				if v <= 0 {
+					continue
+				}
+				v = math.Log10(v)
+			}
+			if !any || p.T < tMin {
+				tMin = p.T
+			}
+			if !any || p.T > tMax {
+				tMax = p.T
+			}
+			if v < vMin {
+				vMin = v
+			}
+			if v > vMax {
+				vMax = v
+			}
+			any = true
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	if tMax == tMin {
+		tMax = tMin + time.Second
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Pts {
+			v := p.V
+			if cfg.LogY {
+				if v <= 0 {
+					continue
+				}
+				v = math.Log10(v)
+			}
+			x := int(float64(cfg.Width-1) * float64(p.T-tMin) / float64(tMax-tMin))
+			y := int(float64(cfg.Height-1) * (v - vMin) / (vMax - vMin))
+			row := cfg.Height - 1 - y
+			if row >= 0 && row < cfg.Height && x >= 0 && x < cfg.Width {
+				grid[row][x] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	topLabel, botLabel := vMax, vMin
+	if cfg.LogY {
+		topLabel, botLabel = math.Pow(10, vMax), math.Pow(10, vMin)
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3g", topLabel)
+		case cfg.Height - 1:
+			label = fmt.Sprintf("%8.3g", botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", cfg.Width))
+	fmt.Fprintf(&b, "%s  %-12s%s%12s\n", strings.Repeat(" ", 8),
+		fmt.Sprintf("%.0fs", tMin.Seconds()), strings.Repeat(" ", maxInt(0, cfg.Width-24)), fmt.Sprintf("%.0fs", tMax.Seconds()))
+	if len(series) > 1 || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "  y: %s;", cfg.YLabel)
+		for si, s := range series {
+			fmt.Fprintf(&b, " %c=%s", glyphs[si%len(glyphs)], s.Name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,156 @@
+// Package stats provides the small time-series and summary toolkit the
+// experiment harnesses use to reproduce the paper's figures: sequence-
+// number-vs-time series (Figure 3), RTT-vs-time series (Figure 1),
+// percentiles, windowed rates, and a dependency-free ASCII plotter for
+// the CLI tools.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	// Name labels the series in plots and tables.
+	Name string
+	// Pts are the samples in append order (experiments append in time
+	// order).
+	Pts []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Pts = append(s.Pts, Point{T: t, V: v})
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.Pts) }
+
+// Last returns the final sample; ok is false for an empty series.
+func (s *Series) Last() (Point, bool) {
+	if len(s.Pts) == 0 {
+		return Point{}, false
+	}
+	return s.Pts[len(s.Pts)-1], true
+}
+
+// Max returns the largest value; 0 for an empty series.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.Pts {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Min returns the smallest value; 0 for an empty series.
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, p := range s.Pts {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// ValueAt returns the value of the last sample at or before t (step
+// interpolation); ok is false when t precedes every sample.
+func (s *Series) ValueAt(t time.Duration) (float64, bool) {
+	idx := sort.Search(len(s.Pts), func(i int) bool { return s.Pts[i].T > t })
+	if idx == 0 {
+		return 0, false
+	}
+	return s.Pts[idx-1].V, true
+}
+
+// Window returns the subseries with samples in (from, to].
+func (s *Series) Window(from, to time.Duration) Series {
+	out := Series{Name: s.Name}
+	for _, p := range s.Pts {
+		if p.T > from && p.T <= to {
+			out.Pts = append(out.Pts, p)
+		}
+	}
+	return out
+}
+
+// Rate fits the average slope over the window (from, to] in value units
+// per second, using the first and last samples inside the window. A
+// window with fewer than two samples reports 0.
+func (s *Series) Rate(from, to time.Duration) float64 {
+	w := s.Window(from, to)
+	if len(w.Pts) < 2 {
+		return 0
+	}
+	first, last := w.Pts[0], w.Pts[len(w.Pts)-1]
+	dt := (last.T - first.T).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return (last.V - first.V) / dt
+}
+
+// Percentile returns the p-th percentile (0..100) of the series values
+// by nearest-rank; 0 for an empty series.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.Pts) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(s.Pts))
+	for i, pt := range s.Pts {
+		vals[i] = pt.V
+	}
+	sort.Float64s(vals)
+	if p <= 0 {
+		return vals[0]
+	}
+	if p >= 100 {
+		return vals[len(vals)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(vals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return vals[rank]
+}
+
+// Mean returns the arithmetic mean of the values; 0 for empty.
+func (s *Series) Mean() float64 {
+	if len(s.Pts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Pts {
+		sum += p.V
+	}
+	return sum / float64(len(s.Pts))
+}
+
+// TSV renders the series as "seconds\tvalue" lines, the format the
+// paper's gnuplot-style figures consume.
+func (s *Series) TSV() string {
+	var b strings.Builder
+	for _, p := range s.Pts {
+		fmt.Fprintf(&b, "%.3f\t%g\n", p.T.Seconds(), p.V)
+	}
+	return b.String()
+}

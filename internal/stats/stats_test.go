@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkSeries(vals ...float64) *Series {
+	s := &Series{Name: "test"}
+	for i, v := range vals {
+		s.Add(time.Duration(i)*time.Second, v)
+	}
+	return s
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := mkSeries(1, 3, 2)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Max() != 3 || s.Min() != 1 {
+		t.Errorf("Max/Min = %v/%v", s.Max(), s.Min())
+	}
+	last, ok := s.Last()
+	if !ok || last.V != 2 {
+		t.Errorf("Last = %+v, %v", last, ok)
+	}
+	if got := s.Mean(); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	var empty Series
+	if empty.Max() != 0 || empty.Min() != 0 || empty.Mean() != 0 {
+		t.Error("empty series summaries should be 0")
+	}
+	if _, ok := empty.Last(); ok {
+		t.Error("empty Last ok")
+	}
+}
+
+func TestValueAt(t *testing.T) {
+	s := mkSeries(10, 20, 30)
+	if v, ok := s.ValueAt(1500 * time.Millisecond); !ok || v != 20 {
+		t.Errorf("ValueAt(1.5s) = %v,%v want 20", v, ok)
+	}
+	if v, ok := s.ValueAt(2 * time.Second); !ok || v != 30 {
+		t.Errorf("ValueAt(2s) = %v,%v want 30 (inclusive)", v, ok)
+	}
+	if _, ok := s.ValueAt(-time.Second); ok {
+		t.Error("ValueAt before first sample should not be ok")
+	}
+}
+
+func TestWindowAndRate(t *testing.T) {
+	s := &Series{}
+	// Sequence numbers growing 2 per second.
+	for i := 0; i <= 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(2*i))
+	}
+	w := s.Window(2*time.Second, 5*time.Second)
+	if len(w.Pts) != 3 { // 3s,4s,5s
+		t.Fatalf("window samples = %d, want 3", len(w.Pts))
+	}
+	if got := s.Rate(0, 10*time.Second); got < 1.99 || got > 2.01 {
+		t.Errorf("Rate = %v, want 2/s", got)
+	}
+	if got := s.Rate(9500*time.Millisecond, 10*time.Second); got != 0 {
+		t.Errorf("Rate over single-sample window = %v, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := mkSeries(5, 1, 4, 2, 3)
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {20, 1}, {50, 3}, {100, 5}, {101, 5}, {-1, 1},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	var empty Series
+	if empty.Percentile(50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestTSV(t *testing.T) {
+	s := mkSeries(1.5)
+	if got := s.TSV(); got != "0.000\t1.5\n" {
+		t.Errorf("TSV = %q", got)
+	}
+}
+
+func TestPlotRendersAllSeries(t *testing.T) {
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	for i := 0; i < 50; i++ {
+		a.Add(time.Duration(i)*time.Second, float64(i))
+		b.Add(time.Duration(i)*time.Second, float64(50-i))
+	}
+	out := Plot(PlotConfig{Width: 40, Height: 10, Title: "T", YLabel: "v"}, a, b)
+	if !strings.Contains(out, "T\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("missing series glyphs")
+	}
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "+=b") {
+		t.Error("missing legend")
+	}
+}
+
+func TestPlotLogY(t *testing.T) {
+	s := &Series{Name: "rtt"}
+	s.Add(0, 0.1)
+	s.Add(time.Second, 10)
+	s.Add(2*time.Second, 0) // non-positive: skipped in log mode
+	out := Plot(PlotConfig{Width: 20, Height: 5, LogY: true}, s)
+	if !strings.Contains(out, "10") {
+		t.Errorf("log plot missing top label:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	if got := Plot(PlotConfig{}, &Series{}); got != "(no data)\n" {
+		t.Errorf("empty plot = %q", got)
+	}
+}

@@ -1,0 +1,60 @@
+package tcp
+
+import (
+	"modelcc/internal/packet"
+	"modelcc/internal/sim"
+)
+
+// Receiver is a TCP receiver generating cumulative acknowledgments: for
+// every arriving segment it reports the next expected sequence number
+// (so out-of-order arrivals produce duplicate acks) and echoes the
+// arriving segment's send timestamp for RTT sampling.
+type Receiver struct {
+	loop     *sim.Loop
+	expected int64
+	buffered map[int64]bool
+	// OnAck conveys (nextExpected, echoed send time) to the sender;
+	// wire it through a Delay element (or directly) to model the
+	// return path.
+	OnAck func(ackNext int64, echoSentAt int64)
+
+	// Received counts segments accepted (including out of order);
+	// Duplicates counts segments already seen.
+	Received   int64
+	Duplicates int64
+}
+
+// NewReceiver returns a TCP receiver invoking onAck per arrival. The
+// echoed send time is passed as int64 nanoseconds to keep the callback
+// signature simple for wiring through closures.
+func NewReceiver(loop *sim.Loop, onAck func(ackNext int64, echoSentAt int64)) *Receiver {
+	return &Receiver{loop: loop, buffered: make(map[int64]bool), OnAck: onAck}
+}
+
+// NextExpected reports the receiver's next in-order sequence number.
+func (r *Receiver) NextExpected() int64 { return r.expected }
+
+// Receive implements elements.Node.
+func (r *Receiver) Receive(p packet.Packet) {
+	switch {
+	case p.Seq == r.expected:
+		r.Received++
+		r.expected++
+		for r.buffered[r.expected] {
+			delete(r.buffered, r.expected)
+			r.expected++
+		}
+	case p.Seq > r.expected:
+		if r.buffered[p.Seq] {
+			r.Duplicates++
+		} else {
+			r.buffered[p.Seq] = true
+			r.Received++
+		}
+	default:
+		r.Duplicates++
+	}
+	if r.OnAck != nil {
+		r.OnAck(r.expected, int64(p.SentAt))
+	}
+}

@@ -1,0 +1,180 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"modelcc/internal/elements"
+	"modelcc/internal/packet"
+	"modelcc/internal/sim"
+)
+
+// pipe builds sender -> [optional loss] -> bottleneck -> receiver ->
+// (delayed) acks -> sender and returns the pieces.
+func pipe(t *testing.T, seed int64, lossP float64, capBits int64, rate float64, variant Variant) (*sim.Loop, *Sender, *Receiver) {
+	t.Helper()
+	loop := sim.New(seed)
+	var snd *Sender
+	recv := NewReceiver(loop, func(ackNext int64, echoSentAt int64) {
+		loop.After(10*time.Millisecond, func() {
+			snd.OnAck(ackNext, time.Duration(echoSentAt))
+		})
+	})
+	var entry elements.Node
+	buf, _ := elements.NewBottleneck(loop, capBits, 1_000_000, recv) // 1 Mbit/s
+	_ = rate
+	if lossP > 0 {
+		entry = elements.NewLoss(loop, lossP, buf)
+	} else {
+		entry = buf
+	}
+	snd = NewSender(loop, entry, packet.FlowSelf, Config{Variant: variant})
+	return loop, snd, recv
+}
+
+func TestSlowStartGrowsWindow(t *testing.T) {
+	loop, snd, recv := pipe(t, 1, 0, 1<<24, 0, Reno)
+	loop.After(0, snd.Start)
+	loop.Run(2 * time.Second)
+	if recv.Received == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// After 2 s on a clean 1 Mbit/s link with ~34 ms RTT, slow start
+	// must have grown cwnd well past the initial 2.
+	if last, ok := snd.Cwnd.Last(); !ok || last.V < 8 {
+		t.Errorf("cwnd after 2s = %+v, want > 8 (slow start)", last)
+	}
+	if snd.Retransmits != 0 {
+		t.Errorf("clean link produced %d retransmits", snd.Retransmits)
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	loop, snd, recv := pipe(t, 2, 0, 1<<24, 0, Reno)
+	loop.After(0, snd.Start)
+	loop.Run(5 * time.Second)
+	if recv.NextExpected() < 100 {
+		t.Errorf("delivered only %d segments in 5s on a clean 1 Mbit/s link", recv.NextExpected())
+	}
+	if recv.NextExpected() != recv.Received {
+		t.Errorf("out-of-order artifacts on in-order link: expected %d received %d",
+			recv.NextExpected(), recv.Received)
+	}
+}
+
+func TestFastRetransmitRecoversFromLoss(t *testing.T) {
+	loop, snd, recv := pipe(t, 3, 0.02, 1<<24, 0, Reno)
+	loop.After(0, snd.Start)
+	loop.Run(30 * time.Second)
+	if snd.FastRetransmits == 0 {
+		t.Error("2% loss for 30s never triggered fast retransmit")
+	}
+	if recv.NextExpected() < 500 {
+		t.Errorf("goodput too low under 2%% loss: %d segments", recv.NextExpected())
+	}
+}
+
+func TestTimeoutRecovery(t *testing.T) {
+	// A tiny buffer plus heavy loss forces RTO events; the connection
+	// must keep making progress.
+	loop, snd, recv := pipe(t, 4, 0.3, 8*12000, 0, Reno)
+	loop.After(0, snd.Start)
+	loop.Run(60 * time.Second)
+	if snd.Timeouts == 0 {
+		t.Error("30% loss never caused an RTO")
+	}
+	if recv.NextExpected() == 0 {
+		t.Error("connection made no progress despite retransmissions")
+	}
+}
+
+func TestTahoeCollapsesToOne(t *testing.T) {
+	loop := sim.New(5)
+	var snd *Sender
+	recv := NewReceiver(loop, func(ackNext int64, echoSentAt int64) {
+		snd.OnAck(ackNext, time.Duration(echoSentAt))
+	})
+	buf, _ := elements.NewBottleneck(loop, 1<<20, 1_000_000, recv)
+	loss := elements.NewLoss(loop, 0.05, buf)
+	snd = NewSender(loop, loss, packet.FlowSelf, Config{Variant: Tahoe})
+	loop.After(0, snd.Start)
+	loop.Run(20 * time.Second)
+
+	if snd.FastRetransmits == 0 {
+		t.Fatal("no fast retransmit under 5% loss")
+	}
+	// Tahoe must have hit cwnd == 1 after a loss event.
+	sawOne := false
+	for _, p := range snd.Cwnd.Pts {
+		if p.V == 1 {
+			sawOne = true
+			break
+		}
+	}
+	if !sawOne {
+		t.Error("Tahoe never collapsed cwnd to 1")
+	}
+}
+
+func TestRenoVsNewRenoUnderBurstLoss(t *testing.T) {
+	// NewReno's partial-ack handling should never do worse than Reno
+	// under multi-loss windows (jitter-induced reordering plus loss).
+	run := func(v Variant) int64 {
+		loop, snd, recv := pipe(t, 6, 0.08, 1<<24, 0, v)
+		loop.After(0, snd.Start)
+		loop.Run(60 * time.Second)
+		_ = snd
+		return recv.NextExpected()
+	}
+	reno := run(Reno)
+	newreno := run(NewReno)
+	if newreno*2 < reno {
+		t.Errorf("NewReno (%d) dramatically worse than Reno (%d)", newreno, reno)
+	}
+}
+
+func TestRTTSamplingKarn(t *testing.T) {
+	loop, snd, _ := pipe(t, 7, 0, 1<<24, 0, Reno)
+	loop.After(0, snd.Start)
+	loop.Run(2 * time.Second)
+	if snd.RTT.Len() == 0 {
+		t.Fatal("no RTT samples")
+	}
+	// All samples must be at least the 20 ms ack path plus transmission.
+	if min := snd.RTT.Min(); min < 0.010 {
+		t.Errorf("implausible RTT sample %vs", min)
+	}
+}
+
+func TestReceiverCumulativeAcks(t *testing.T) {
+	loop := sim.New(8)
+	var acks []int64
+	r := NewReceiver(loop, func(ackNext int64, _ int64) { acks = append(acks, ackNext) })
+	at := func(seq int64) packet.Packet {
+		return packet.Packet{Flow: packet.FlowSelf, Seq: seq, SizeBytes: 1500}
+	}
+	r.Receive(at(0)) // ack 1
+	r.Receive(at(2)) // hole: dup ack 1
+	r.Receive(at(3)) // still 1
+	r.Receive(at(1)) // fills hole: ack 4
+	want := []int64{1, 1, 1, 4}
+	if len(acks) != len(want) {
+		t.Fatalf("acks = %v, want %v", acks, want)
+	}
+	for i := range want {
+		if acks[i] != want[i] {
+			t.Fatalf("acks = %v, want %v", acks, want)
+		}
+	}
+	// Redundant and duplicate segments.
+	r.Receive(at(1))
+	if r.Duplicates != 1 {
+		t.Errorf("Duplicates = %d, want 1", r.Duplicates)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Tahoe.String() != "tahoe" || Reno.String() != "reno" || NewReno.String() != "newreno" {
+		t.Error("variant names wrong")
+	}
+}

@@ -1,0 +1,234 @@
+// Package transport runs the ISENDER over real UDP sockets: the same
+// core.Sender the simulator drives, now driven by the wall clock and a
+// net.UDPConn. Together with the trace-driven proxy in internal/emu it
+// forms the end-to-end demonstration the reproduction bands call for:
+// "UDP transport easy; trace-driven emulation feasible".
+//
+// Clocking: all times are durations since the sender's epoch. The
+// receiver timestamps acknowledgments with absolute wall-clock
+// nanoseconds and the sender rebases them, so on one machine (loopback
+// experiments) clocks agree exactly; across machines the model's
+// ClockSkew parameter is the paper's suggested extension (§3.4).
+// Observation matching MUST use a soft likelihood (belief.Config's
+// SoftSigma) because OS scheduling adds jitter the model does not
+// represent.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"modelcc/internal/core"
+	"modelcc/internal/packet"
+	"modelcc/internal/wire"
+)
+
+// Receiver is the UDP RECEIVER (§3.4): it acknowledges every data
+// packet with its receive time and sequence number.
+type Receiver struct {
+	conn *net.UDPConn
+
+	// Received counts data packets; AcksSent counts acknowledgments.
+	Received, AcksSent int64
+}
+
+// NewReceiver wraps a bound UDP socket.
+func NewReceiver(conn *net.UDPConn) *Receiver {
+	return &Receiver{conn: conn}
+}
+
+// Run serves until ctx is cancelled or the socket fails.
+func (r *Receiver) Run(ctx context.Context) error {
+	buf := make([]byte, 64*1024)
+	ackBuf := make([]byte, wire.HeaderLen)
+	go func() {
+		<-ctx.Done()
+		r.conn.SetReadDeadline(time.Now()) // unblock the read loop
+	}()
+	for {
+		n, addr, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				if ctx.Err() != nil {
+					return nil
+				}
+				continue
+			}
+			return fmt.Errorf("transport: receiver read: %w", err)
+		}
+		typ, data, _, err := wire.Decode(buf[:n])
+		if err != nil || typ != wire.TypeData {
+			continue // not ours; drop silently like any UDP service
+		}
+		r.Received++
+		ack := wire.Ack{
+			Seq:           data.Seq,
+			EchoSentNanos: data.SentNanos,
+			ReceivedNanos: time.Now().UnixNano(),
+		}
+		dg, err := wire.EncodeAck(ackBuf, ack)
+		if err != nil {
+			return fmt.Errorf("transport: encode ack: %w", err)
+		}
+		if _, err := r.conn.WriteToUDP(dg, addr); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("transport: receiver write: %w", err)
+		}
+		r.AcksSent++
+	}
+}
+
+// SenderStats summarizes a transport run.
+type SenderStats struct {
+	// Sent and Acked count packets.
+	Sent, Acked int64
+	// MeanOWD is the mean observed one-way delay.
+	MeanOWD time.Duration
+	// Wakes counts sender wakeups.
+	Wakes int64
+}
+
+// Sender drives a core.Sender over a connected UDP socket.
+type Sender struct {
+	conn  *net.UDPConn
+	s     *core.Sender
+	padTo int
+	epoch time.Time
+}
+
+// NewSender wraps a connected UDP socket around an ISENDER. padTo pads
+// data datagrams to the uniform size the sender's model assumes
+// (typically 1500); 0 disables padding.
+func NewSender(conn *net.UDPConn, s *core.Sender, padTo int) *Sender {
+	return &Sender{conn: conn, s: s, padTo: padTo}
+}
+
+// Run executes the send loop for the given duration (or until ctx is
+// cancelled).
+func (s *Sender) Run(ctx context.Context, duration time.Duration) (SenderStats, error) {
+	s.epoch = time.Now()
+	var stats SenderStats
+
+	acksCh := make(chan packet.Ack, 256)
+	readCtx, stopRead := context.WithCancel(ctx)
+	defer stopRead()
+	go s.readAcks(readCtx, acksCh)
+
+	sendBuf := make([]byte, s.padTo+wire.HeaderLen)
+	now := func() time.Duration { return time.Since(s.epoch) }
+
+	transmit := func(seq int64, at time.Duration) error {
+		dg, err := wire.EncodeData(sendBuf, wire.Data{Seq: seq, SentNanos: int64(at)}, s.padTo)
+		if err != nil {
+			return err
+		}
+		_, err = s.conn.Write(dg)
+		return err
+	}
+
+	var owdSum time.Duration
+	wake := func(acks []packet.Ack) (time.Duration, error) {
+		stats.Wakes++
+		act := s.s.Wake(now(), acks)
+		for _, snd := range act.Sends {
+			if err := transmit(snd.Seq, snd.At); err != nil {
+				return 0, fmt.Errorf("transport: send: %w", err)
+			}
+			stats.Sent++
+		}
+		return act.WakeAt, nil
+	}
+
+	wakeAt, err := wake(nil)
+	if err != nil {
+		return stats, err
+	}
+	deadline := time.NewTimer(time.Until(s.epoch.Add(wakeAt)))
+	defer deadline.Stop()
+	end := time.NewTimer(duration)
+	defer end.Stop()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return stats, ctx.Err()
+		case <-end.C:
+			return stats, nil
+		case a := <-acksCh:
+			acks := []packet.Ack{a}
+			// Batch any other acks already queued.
+			for len(acksCh) > 0 {
+				acks = append(acks, <-acksCh)
+			}
+			for _, ack := range acks {
+				stats.Acked++
+				owdSum += ack.ReceivedAt - ack.SentAt
+				if stats.Acked > 0 {
+					stats.MeanOWD = owdSum / time.Duration(stats.Acked)
+				}
+			}
+			if wakeAt, err = wake(acks); err != nil {
+				return stats, err
+			}
+			deadline.Reset(time.Until(s.epoch.Add(wakeAt)))
+		case <-deadline.C:
+			if wakeAt, err = wake(nil); err != nil {
+				return stats, err
+			}
+			deadline.Reset(time.Until(s.epoch.Add(wakeAt)))
+		}
+	}
+}
+
+// readAcks decodes acknowledgments and rebases the receiver's absolute
+// timestamps onto the sender epoch.
+func (s *Sender) readAcks(ctx context.Context, out chan<- packet.Ack) {
+	buf := make([]byte, 64*1024)
+	go func() {
+		<-ctx.Done()
+		s.conn.SetReadDeadline(time.Now())
+	}()
+	for {
+		n, err := s.conn.Read(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				if ctx.Err() != nil {
+					return
+				}
+				continue
+			}
+			return
+		}
+		typ, _, ack, err := wire.Decode(buf[:n])
+		if err != nil || typ != wire.TypeAck {
+			continue
+		}
+		rebased := packet.Ack{
+			Flow:       packet.FlowSelf,
+			Seq:        ack.Seq,
+			SentAt:     time.Duration(ack.EchoSentNanos),
+			ReceivedAt: time.Duration(ack.ReceivedNanos - s.epoch.UnixNano()),
+		}
+		select {
+		case out <- rebased:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

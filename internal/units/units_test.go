@@ -1,0 +1,140 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTransmitTime(t *testing.T) {
+	tests := []struct {
+		name string
+		bits int64
+		rate BitRate
+		want time.Duration
+	}{
+		{"one packet at paper link speed", 12000, 12000, time.Second},
+		{"half packet", 6000, 12000, 500 * time.Millisecond},
+		{"zero bits", 0, 12000, 0},
+		{"negative bits", -5, 12000, 0},
+		{"dead link", 12000, 0, Forever},
+		{"negative rate", 12000, -1, Forever},
+		{"fast link", 12000, 12_000_000, time.Microsecond * 1000},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := TransmitTime(tt.bits, tt.rate); got != tt.want {
+				t.Errorf("TransmitTime(%d, %v) = %v, want %v", tt.bits, tt.rate, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBitsOver(t *testing.T) {
+	tests := []struct {
+		name string
+		rate BitRate
+		d    time.Duration
+		want int64
+	}{
+		{"one second at link speed", 12000, time.Second, 12000},
+		{"hundred ms", 12000, 100 * time.Millisecond, 1200},
+		{"zero duration", 12000, 0, 0},
+		{"negative duration", 12000, -time.Second, 0},
+		{"zero rate", 0, time.Second, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := BitsOver(tt.rate, tt.d); got != tt.want {
+				t.Errorf("BitsOver(%v, %v) = %d, want %d", tt.rate, tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestByteBitConversions(t *testing.T) {
+	if got := BytesToBits(1500); got != 12000 {
+		t.Errorf("BytesToBits(1500) = %d, want 12000", got)
+	}
+	if got := BitsToBytes(12000); got != 1500 {
+		t.Errorf("BitsToBytes(12000) = %d, want 1500", got)
+	}
+	if got := BitsToBytes(12001); got != 1501 {
+		t.Errorf("BitsToBytes(12001) = %d, want 1501 (round up)", got)
+	}
+}
+
+// TestRoundTripProperty checks bits -> bytes -> bits is lossless for
+// byte-aligned values.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		bits := BytesToBits(int(n))
+		return BitsToBytes(bits) == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransmitTimeMonotone checks that transmit time is monotone
+// non-decreasing in payload size.
+func TestTransmitTimeMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return TransmitTime(lo, 12000) <= TransmitTime(hi, 12000)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecondsToDuration(t *testing.T) {
+	if got := SecondsToDuration(1.5); got != 1500*time.Millisecond {
+		t.Errorf("SecondsToDuration(1.5) = %v", got)
+	}
+	if got := SecondsToDuration(-2); got != 0 {
+		t.Errorf("SecondsToDuration(-2) = %v, want 0", got)
+	}
+	if got := SecondsToDuration(math.MaxFloat64); got != Forever {
+		t.Errorf("SecondsToDuration(huge) = %v, want Forever", got)
+	}
+}
+
+func TestDurationMinMax(t *testing.T) {
+	a, b := time.Second, 2*time.Second
+	if DurationMin(a, b) != a || DurationMin(b, a) != a {
+		t.Error("DurationMin wrong")
+	}
+	if DurationMax(a, b) != b || DurationMax(b, a) != b {
+		t.Error("DurationMax wrong")
+	}
+}
+
+func TestMillis(t *testing.T) {
+	if got := Millis(1500 * time.Millisecond); got != 1500 {
+		t.Errorf("Millis(1.5s) = %v, want 1500", got)
+	}
+	if got := Millis(0); got != 0 {
+		t.Errorf("Millis(0) = %v, want 0", got)
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	tests := []struct {
+		r    BitRate
+		want string
+	}{
+		{12000, "12 kbit/s"},
+		{500, "500 bit/s"},
+		{2.5e6, "2.5 Mbit/s"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("(%v).String() = %q, want %q", float64(tt.r), got, tt.want)
+		}
+	}
+}

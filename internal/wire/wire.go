@@ -1,0 +1,141 @@
+// Package wire defines the UDP datagram encoding for the real-socket
+// transport: fixed-size binary headers, explicit version and type bytes,
+// and strict decode validation. Data packets are padded to the uniform
+// packet size the model assumes (§3.2), so a wire packet and a model
+// packet cost the same on the emulated link.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Magic identifies the protocol; Version gates compatibility.
+const (
+	Magic   = 0x4d43 // "MC"
+	Version = 1
+)
+
+// Packet types.
+const (
+	// TypeData carries one sender packet.
+	TypeData = 0x01
+	// TypeAck conveys the receiver's (seq, receive time) notification
+	// (§3.4).
+	TypeAck = 0x02
+)
+
+// Header layout (big endian):
+//
+//	offset size field
+//	0      2    magic
+//	2      1    version
+//	3      1    type
+//	4      8    seq
+//	12     8    timestamp A (data: sender send time; ack: echoed send time)
+//	20     8    timestamp B (ack: receiver receive time; data: zero)
+//	28     4    payload length (data only; ack: zero)
+//	32     -    payload / padding
+const HeaderLen = 32
+
+// Data is a sender-to-receiver packet.
+type Data struct {
+	// Seq is the packet's sequence number.
+	Seq int64
+	// SentNanos is the sender-clock send time (nanoseconds since the
+	// connection epoch).
+	SentNanos int64
+	// Payload is the application data (may be empty; the transport
+	// pads the datagram to the uniform size).
+	Payload []byte
+}
+
+// Ack is the receiver-to-sender notification.
+type Ack struct {
+	// Seq echoes the data packet's sequence number.
+	Seq int64
+	// EchoSentNanos echoes Data.SentNanos.
+	EchoSentNanos int64
+	// ReceivedNanos is the receiver-clock arrival time (nanoseconds
+	// since the connection epoch).
+	ReceivedNanos int64
+}
+
+// Decode errors.
+var (
+	ErrShort   = errors.New("wire: datagram too short")
+	ErrMagic   = errors.New("wire: bad magic")
+	ErrVersion = errors.New("wire: unsupported version")
+	ErrType    = errors.New("wire: unknown packet type")
+	ErrLength  = errors.New("wire: payload length mismatch")
+)
+
+func putHeader(b []byte, typ byte, seq, tsA, tsB int64, payloadLen int) {
+	binary.BigEndian.PutUint16(b[0:2], Magic)
+	b[2] = Version
+	b[3] = typ
+	binary.BigEndian.PutUint64(b[4:12], uint64(seq))
+	binary.BigEndian.PutUint64(b[12:20], uint64(tsA))
+	binary.BigEndian.PutUint64(b[20:28], uint64(tsB))
+	binary.BigEndian.PutUint32(b[28:32], uint32(payloadLen))
+}
+
+// EncodeData marshals a data packet into buf (which must hold
+// HeaderLen+len(Payload)+padding bytes) padded to padTo, returning the
+// datagram slice. padTo <= HeaderLen+len(Payload) means no padding.
+func EncodeData(buf []byte, d Data, padTo int) ([]byte, error) {
+	n := HeaderLen + len(d.Payload)
+	if padTo > n {
+		n = padTo
+	}
+	if len(buf) < n {
+		return nil, fmt.Errorf("wire: buffer too small: %d < %d", len(buf), n)
+	}
+	putHeader(buf, TypeData, d.Seq, d.SentNanos, 0, len(d.Payload))
+	copy(buf[HeaderLen:], d.Payload)
+	for i := HeaderLen + len(d.Payload); i < n; i++ {
+		buf[i] = 0
+	}
+	return buf[:n], nil
+}
+
+// EncodeAck marshals an acknowledgment into buf.
+func EncodeAck(buf []byte, a Ack) ([]byte, error) {
+	if len(buf) < HeaderLen {
+		return nil, fmt.Errorf("wire: buffer too small: %d < %d", len(buf), HeaderLen)
+	}
+	putHeader(buf, TypeAck, a.Seq, a.EchoSentNanos, a.ReceivedNanos, 0)
+	return buf[:HeaderLen], nil
+}
+
+// Decode parses a datagram, returning exactly one of data or ack.
+func Decode(b []byte) (typ byte, data Data, ack Ack, err error) {
+	if len(b) < HeaderLen {
+		return 0, data, ack, ErrShort
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != Magic {
+		return 0, data, ack, ErrMagic
+	}
+	if b[2] != Version {
+		return 0, data, ack, ErrVersion
+	}
+	typ = b[3]
+	seq := int64(binary.BigEndian.Uint64(b[4:12]))
+	tsA := int64(binary.BigEndian.Uint64(b[12:20]))
+	tsB := int64(binary.BigEndian.Uint64(b[20:28]))
+	plen := int(binary.BigEndian.Uint32(b[28:32]))
+	switch typ {
+	case TypeData:
+		if HeaderLen+plen > len(b) {
+			return 0, data, ack, ErrLength
+		}
+		data = Data{Seq: seq, SentNanos: tsA, Payload: b[HeaderLen : HeaderLen+plen]}
+		return typ, data, ack, nil
+	case TypeAck:
+		ack = Ack{Seq: seq, EchoSentNanos: tsA, ReceivedNanos: tsB}
+		return typ, data, ack, nil
+	default:
+		return 0, data, ack, ErrType
+	}
+}

@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDataRoundTrip(t *testing.T) {
+	buf := make([]byte, 1500)
+	d := Data{Seq: 42, SentNanos: 123456789, Payload: []byte("hello")}
+	dg, err := EncodeData(buf, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, got, _, err := Decode(dg)
+	if err != nil || typ != TypeData {
+		t.Fatalf("decode: %v type %d", err, typ)
+	}
+	if got.Seq != d.Seq || got.SentNanos != d.SentNanos || !bytes.Equal(got.Payload, d.Payload) {
+		t.Errorf("round trip: %+v != %+v", got, d)
+	}
+}
+
+func TestDataPadding(t *testing.T) {
+	buf := make([]byte, 1500)
+	d := Data{Seq: 1, Payload: []byte("x")}
+	dg, err := EncodeData(buf, d, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dg) != 1500 {
+		t.Fatalf("padded datagram = %d bytes, want 1500", len(dg))
+	}
+	_, got, _, err := Decode(dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "x" {
+		t.Errorf("payload = %q (padding leaked in?)", got.Payload)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	buf := make([]byte, 64)
+	a := Ack{Seq: 7, EchoSentNanos: 111, ReceivedNanos: 222}
+	dg, err := EncodeAck(buf, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, _, got, err := Decode(dg)
+	if err != nil || typ != TypeAck {
+		t.Fatalf("decode: %v type %d", err, typ)
+	}
+	if got != a {
+		t.Errorf("round trip: %+v != %+v", got, a)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	buf := make([]byte, 4096)
+	f := func(seq, sent int64, payload []byte) bool {
+		if len(payload) > 2048 {
+			payload = payload[:2048]
+		}
+		dg, err := EncodeData(buf, Data{Seq: seq, SentNanos: sent, Payload: payload}, 0)
+		if err != nil {
+			return false
+		}
+		typ, got, _, err := Decode(dg)
+		return err == nil && typ == TypeData && got.Seq == seq &&
+			got.SentNanos == sent && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	buf := make([]byte, 64)
+	dg, _ := EncodeAck(buf, Ack{Seq: 1})
+
+	short := dg[:10]
+	if _, _, _, err := Decode(short); err != ErrShort {
+		t.Errorf("short: %v", err)
+	}
+
+	bad := append([]byte(nil), dg...)
+	bad[0] = 0xFF
+	if _, _, _, err := Decode(bad); err != ErrMagic {
+		t.Errorf("magic: %v", err)
+	}
+
+	badV := append([]byte(nil), dg...)
+	badV[2] = 99
+	if _, _, _, err := Decode(badV); err != ErrVersion {
+		t.Errorf("version: %v", err)
+	}
+
+	badT := append([]byte(nil), dg...)
+	badT[3] = 0x7F
+	if _, _, _, err := Decode(badT); err != ErrType {
+		t.Errorf("type: %v", err)
+	}
+
+	// Data header claiming more payload than the datagram carries.
+	data := make([]byte, 1500)
+	dd, _ := EncodeData(data, Data{Seq: 1, Payload: []byte("abcd")}, 0)
+	trunc := dd[:HeaderLen+2]
+	if _, _, _, err := Decode(trunc); err != ErrLength {
+		t.Errorf("length: %v", err)
+	}
+}
+
+func TestEncodeBufferTooSmall(t *testing.T) {
+	if _, err := EncodeData(make([]byte, 8), Data{}, 0); err == nil {
+		t.Error("EncodeData into tiny buffer succeeded")
+	}
+	if _, err := EncodeAck(make([]byte, 8), Ack{}); err == nil {
+		t.Error("EncodeAck into tiny buffer succeeded")
+	}
+}
