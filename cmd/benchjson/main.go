@@ -1,0 +1,137 @@
+// Command benchjson runs the repository's headline performance
+// benchmarks through testing.Benchmark and emits the results as JSON,
+// so the perf trajectory is machine-readable PR over PR (BENCH_<n>.json
+// at the repository root records each PR's before/after).
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-short] [-workers N] [-o out.json]
+//
+// -short runs 30 s virtual figure runs instead of the benchmarks' 120 s,
+// for quick smoke measurement (CI). -workers overrides the rollout
+// parallelism (0 = GOMAXPROCS).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/experiments"
+	"modelcc/internal/model"
+	"modelcc/internal/packet"
+	"modelcc/internal/planner"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	MsPerOp     float64 `json:"ms_per_op"`
+}
+
+// Report is the whole run.
+type Report struct {
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Workers    int       `json:"workers"`
+	DurationS  float64   `json:"virtual_duration_s"`
+	Results    []Result  `json:"results"`
+	At         time.Time `json:"at"`
+}
+
+func measure(name string, f func(b *testing.B)) Result {
+	r := testing.Benchmark(f)
+	return Result{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+		MsPerOp:     float64(r.NsPerOp()) / 1e6,
+	}
+}
+
+func main() {
+	short := flag.Bool("short", false, "30s virtual runs instead of 120s")
+	workers := flag.Int("workers", 0, "rollout workers (0 = GOMAXPROCS)")
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	dur := 120 * time.Second
+	if *short {
+		dur = 30 * time.Second
+	}
+
+	rep := Report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+		DurationS:  dur.Seconds(),
+		At:         time.Now().UTC(),
+	}
+
+	rep.Results = append(rep.Results, measure("Fig1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			experiments.RunFig1(experiments.Fig1Config{Duration: dur, Seed: 3})
+		}
+	}))
+
+	for _, alpha := range experiments.Fig3Alphas {
+		rep.Results = append(rep.Results, measure(fmt.Sprintf("Fig3/alpha=%g", alpha), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.Fig3Config(alpha, 42, dur)
+				cfg.Workers = *workers
+				experiments.RunISender(cfg)
+			}
+		}))
+	}
+
+	states, _ := model.Fig3Prior().Enumerate()
+	rep.Results = append(rep.Results, measure("BeliefUpdate/fig3-prior", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			bel := belief.NewExact(states, belief.Config{Workers: *workers})
+			bel.RecordSend(model.Send{Seq: 0, At: 0})
+			b.StartTimer()
+			bel.Update(time.Second, []packet.Ack{{Seq: 0, ReceivedAt: time.Second}})
+		}
+	}))
+
+	rep.Results = append(rep.Results, measure("PlannerDecide/fig3-prior", func(b *testing.B) {
+		b.ReportAllocs()
+		bel := belief.NewExact(states, belief.Config{Workers: *workers})
+		bel.RecordSend(model.Send{Seq: 0, At: 0})
+		bel.Update(time.Second, []packet.Ack{{Seq: 0, ReceivedAt: time.Second}})
+		cfg := planner.DefaultConfig()
+		cfg.Workers = *workers
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			planner.Decide(bel.Support(), nil, time.Second, 1, cfg)
+		}
+	}))
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -8,4 +8,32 @@
 // See README.md for a tour, DESIGN.md for the system inventory and the
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmarks in bench_test.go regenerate every figure.
+//
+// # Parallelism
+//
+// The inference and planning hot paths run on a shared rollout engine
+// (internal/rollout): a bounded worker pool with per-worker scratch
+// arenas that shards per-hypothesis work. The width is a knob at every
+// layer — belief.Config.Workers, planner.Config.Workers, and
+// experiments.ISenderConfig.Workers, which forwards to both — where 0
+// means GOMAXPROCS and 1 forces the serial path. Results are
+// bit-identical for every width: workers write only per-index slots,
+// reductions run in index order, and the particle filter gives each
+// particle a private random stream derived from the parent seed
+// (TestDecideParallelEquivalence, TestExactParallelEquivalence, and
+// TestParticleParallelEquivalence assert this).
+//
+// # Benchmark tracking
+//
+// Run the full suite with
+//
+//	go test -bench=. -benchmem
+//
+// and the headline measurements as machine-readable JSON with
+//
+//	go run ./cmd/benchjson [-short] [-workers N] [-o out.json]
+//
+// Each PR records its before/after in BENCH_<n>.json at the repository
+// root (BENCH_1.json holds the first: the parallel, allocation-lean
+// engine against the seed tree).
 package modelcc

@@ -1,0 +1,3 @@
+module modelcc
+
+go 1.24

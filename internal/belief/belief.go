@@ -105,6 +105,14 @@ type Config struct {
 	// the model-mismatch experiments; the default panic is the right
 	// behaviour when the prior is supposed to contain the truth.
 	Relax bool
+	// Workers shards the per-hypothesis advances of an update across a
+	// worker pool: 0 means GOMAXPROCS, 1 forces the serial path. The
+	// posterior is bit-identical for every worker count: each advance
+	// writes only its own index's slot and the Bayesian reduction walks
+	// slots in index order (the particle filter additionally derives a
+	// per-particle random stream from the parent seed, so its draws do
+	// not depend on scheduling).
+	Workers int
 }
 
 // DefaultConfig returns the bounds used by the experiments.

@@ -7,6 +7,7 @@ import (
 
 	"modelcc/internal/model"
 	"modelcc/internal/packet"
+	"modelcc/internal/rollout"
 )
 
 // Exact is the paper's rejection-sampling belief: it maintains "a list of
@@ -26,6 +27,20 @@ type Exact struct {
 	recent map[int64]time.Duration
 	// Cum accumulates stats over the belief's lifetime.
 	Cum UpdateStats
+
+	// pool shards per-hypothesis advances; reused buffers below keep
+	// the steady-state update allocation-lean.
+	pool   *rollout.Pool
+	advBrs [][]model.Branch
+	advLws [][]float64
+	// lwFlat backs advLws two slots per hypothesis: a segment spans at
+	// most one toggle opportunity, so AdvanceEnum yields at most two
+	// branches (append falls back to a fresh slice if that ever
+	// changes).
+	lwFlat  []float64
+	next    []Hypothesis
+	byKey   map[uint64]int
+	segAcks map[int64]time.Duration
 }
 
 // recentAckWindow bounds how long soft matching remembers
@@ -43,10 +58,14 @@ func NewExact(states []model.State, cfg Config) *Exact {
 	for i, s := range states {
 		hyps[i] = Hypothesis{S: s.Clone(), W: w}
 	}
+	cfg = cfg.withDefaults()
 	return &Exact{
-		cfg:    cfg.withDefaults(),
-		hyps:   hyps,
-		recent: make(map[int64]time.Duration),
+		cfg:     cfg,
+		hyps:    hyps,
+		recent:  make(map[int64]time.Duration),
+		pool:    rollout.New(cfg.Workers),
+		byKey:   make(map[uint64]int),
+		segAcks: make(map[int64]time.Duration),
 	}
 }
 
@@ -126,16 +145,31 @@ func (b *Exact) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 		for aHi < len(acks) && acks[aHi].ReceivedAt <= segEnd {
 			aHi++
 		}
-		segAcks := make(map[int64]time.Duration, aHi-ai)
+		segAcks := b.segAcks
+		clear(segAcks)
 		for _, a := range acks[ai:aHi] {
 			segAcks[a.Seq] = a.ReceivedAt
 		}
 
-		next := make([]Hypothesis, 0, len(b.hyps)*2)
-		var total float64
-		for _, h := range b.hyps {
-			for _, br := range model.AdvanceEnum(h.S, segEnd, sends[si:sHi]) {
-				stats.Branches++
+		// Advance every hypothesis and weigh its branches, sharded
+		// across the pool. Workers write only their own index's slots;
+		// the shared maps (segAcks, recent) are read-only here.
+		if cap(b.advBrs) < len(b.hyps) {
+			b.advBrs = make([][]model.Branch, len(b.hyps))
+			b.advLws = make([][]float64, len(b.hyps))
+			b.lwFlat = make([]float64, 2*len(b.hyps))
+			for i := range b.advLws {
+				b.advLws[i] = b.lwFlat[2*i : 2*i : 2*i+2]
+			}
+		}
+		advBrs := b.advBrs[:len(b.hyps)]
+		advLws := b.advLws[:len(b.hyps)]
+		segSends := sends[si:sHi]
+		b.pool.Run(len(b.hyps), func(_ *rollout.Scratch, i int) {
+			h := &b.hyps[i]
+			brs := model.AdvanceEnum(h.S, segEnd, segSends)
+			lws := advLws[i][:0]
+			for _, br := range brs {
 				var lw float64
 				if soft {
 					lw = softLikelihood(br.Events, b.recent, now, br.S.P.LossProb, b.cfg)
@@ -146,12 +180,21 @@ func (b *Exact) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 						lw = 0 // an acknowledgment the branch cannot explain
 					}
 				}
-				if lw == 0 {
-					stats.Rejected++
-					continue
-				}
-				w := h.W * br.W * lw
-				if w <= 0 {
+				lws = append(lws, lw)
+			}
+			advBrs[i], advLws[i] = brs, lws
+		})
+
+		// Sequential Bayesian reduce, in hypothesis order — identical
+		// float operations regardless of worker count.
+		next := b.next[:0]
+		var total float64
+		for i := range b.hyps {
+			hW := b.hyps[i].W
+			for j, br := range advBrs[i] {
+				stats.Branches++
+				w := hW * br.W * advLws[i][j]
+				if advLws[i][j] == 0 || w <= 0 {
 					stats.Rejected++
 					continue
 				}
@@ -162,14 +205,15 @@ func (b *Exact) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 		if total == 0 {
 			if b.cfg.Relax {
 				// Keep the pre-segment posterior, advanced without
-				// conditioning: re-run the advance and accept every
-				// branch.
+				// conditioning: accept every branch of the advance we
+				// already ran.
 				stats.Relaxed++
 				next = next[:0]
 				total = 0
-				for _, h := range b.hyps {
-					for _, br := range model.AdvanceEnum(h.S, segEnd, sends[si:sHi]) {
-						w := h.W * br.W
+				for i := range b.hyps {
+					hW := b.hyps[i].W
+					for _, br := range advBrs[i] {
+						w := hW * br.W
 						if w <= 0 {
 							continue
 						}
@@ -189,11 +233,15 @@ func (b *Exact) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 		for i := range next {
 			next[i].W /= total
 		}
-		next, merged := compact(next)
+		next, merged := compactInto(next, b.byKey)
 		stats.Merged += merged
 		next, floored := floorAndCap(next, b.cfg.MinWeight, b.cfg.MaxHyps)
 		stats.Floored += floored
+		// Double-buffer: the outgoing posterior's storage becomes the
+		// next segment's append target.
+		old := b.hyps
 		b.hyps = next
+		b.next = old[:0]
 
 		si, ai = sHi, aHi
 		if segEnd == now {
@@ -214,15 +262,17 @@ func (b *Exact) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 	return stats
 }
 
-// compact merges hypotheses with identical canonical state keys, summing
-// their weights — the paper's "compacted back into one state" (§3.2). It
-// reports how many hypotheses were absorbed.
-func compact(hyps []Hypothesis) ([]Hypothesis, int) {
-	byKey := make(map[string]int, len(hyps))
+// compactInto merges hypotheses with identical canonical state keys,
+// summing their weights — the paper's "compacted back into one state"
+// (§3.2). It reports how many hypotheses were absorbed. Keys are the
+// allocation-free Hash64 over the canonical encoding rather than the
+// string Key; byKey is a caller-owned (reused) index map.
+func compactInto(hyps []Hypothesis, byKey map[uint64]int) ([]Hypothesis, int) {
+	clear(byKey)
 	out := hyps[:0]
 	merged := 0
 	for _, h := range hyps {
-		k := h.S.Key()
+		k := h.S.Hash64()
 		if i, ok := byKey[k]; ok {
 			out[i].W += h.W
 			merged++

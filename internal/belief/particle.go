@@ -2,12 +2,12 @@ package belief
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"time"
 
 	"modelcc/internal/model"
 	"modelcc/internal/packet"
+	"modelcc/internal/rollout"
 )
 
 // Particle is the scalable belief the paper points to as future work
@@ -28,6 +28,13 @@ type Particle struct {
 	recent    map[int64]time.Duration // soft-mode ack memory
 	compacted []Hypothesis            // cache for Support
 	dirty     bool
+
+	// pool shards per-particle advances; lws/prevW are reused
+	// per-index result slots.
+	pool  *rollout.Pool
+	lws   []float64
+	prevW []float64
+	byKey map[uint64]int
 
 	// Resamples counts resampling rounds, for instrumentation.
 	Resamples int
@@ -61,7 +68,17 @@ func NewParticle(states []model.State, n int, cfg Config, rng *rand.Rand) *Parti
 		}
 		ps[i] = Hypothesis{S: src.Clone(), W: w}
 	}
-	return &Particle{cfg: cfg.withDefaults(), rng: rng, particles: ps, dirty: true}
+	cfg = cfg.withDefaults()
+	return &Particle{
+		cfg:       cfg,
+		rng:       rng,
+		particles: ps,
+		dirty:     true,
+		pool:      rollout.New(cfg.Workers),
+		lws:       make([]float64, n),
+		prevW:     make([]float64, n),
+		byKey:     make(map[uint64]int),
+	}
 }
 
 // Now implements Belief.
@@ -85,9 +102,8 @@ func (b *Particle) NumParticles() int { return len(b.particles) }
 // planner's cost scales with distinct states, not the particle count.
 func (b *Particle) Support() []Hypothesis {
 	if b.dirty {
-		cp := make([]Hypothesis, len(b.particles))
-		copy(cp, b.particles)
-		cp, _ = compact(cp)
+		cp := append(b.compacted[:0], b.particles...)
+		cp, _ = compactInto(cp, b.byKey)
 		b.compacted = cp
 		b.dirty = false
 	}
@@ -126,28 +142,36 @@ func (b *Particle) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 
 	var stats UpdateStats
 	var total float64
-	prevW := make([]float64, len(b.particles))
-	for i := range b.particles {
+	prevW := b.prevW
+	// One parent draw per update seeds every particle's private stream,
+	// so the sampled toggles are identical for any worker count.
+	streamSeed := int64(b.rng.Uint64())
+	b.pool.Run(len(b.particles), func(s *rollout.Scratch, i int) {
 		p := &b.particles[i]
 		prevW[i] = p.W
-		evs := advanceSampled(&p.S, now, sends, b.rng)
-		stats.Branches++
+		rng := rollout.Stream(streamSeed, i)
+		s.Events = advanceSampled(&p.S, now, sends, &rng, s.Events[:0])
 		var lw float64
 		if soft {
-			lw = softLikelihood(evs, b.recent, now, p.S.P.LossProb, b.cfg)
+			lw = softLikelihood(s.Events, b.recent, now, p.S.P.LossProb, b.cfg)
 		} else {
 			var matched int
-			lw, matched = likelihood(evs, ackBySeq, p.S.P.LossProb, b.cfg)
+			lw, matched = likelihood(s.Events, ackBySeq, p.S.P.LossProb, b.cfg)
 			if matched < len(ackBySeq) {
 				lw = 0
 			}
 		}
-		if lw == 0 {
+		b.lws[i] = lw
+	})
+	for i := range b.particles {
+		p := &b.particles[i]
+		stats.Branches++
+		if b.lws[i] == 0 {
 			stats.Rejected++
 			p.W = 0
 			continue
 		}
-		p.W *= lw
+		p.W *= b.lws[i]
 		total += p.W
 	}
 	if total == 0 {
@@ -180,9 +204,10 @@ func (b *Particle) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 }
 
 // advanceSampled advances one particle to `until`, drawing gate toggles
-// at the same discretized opportunities AdvanceEnum forks at.
-func advanceSampled(s *model.State, until time.Duration, sends []model.Send, rng *rand.Rand) []model.Event {
-	var evs []model.Event
+// from the particle's private stream at the same discretized
+// opportunities AdvanceEnum forks at. Events are appended to evs, which
+// is returned (callers pass a reused scratch buffer).
+func advanceSampled(s *model.State, until time.Duration, sends []model.Send, rng *rollout.Rand, evs []model.Event) []model.Event {
 	si := 0
 	for s.SwitchTick > 0 && s.P.MeanSwitch > 0 && s.NextToggle <= until {
 		at := s.NextToggle
@@ -193,22 +218,12 @@ func advanceSampled(s *model.State, until time.Duration, sends []model.Send, rng
 		s.Run(at, sends[si:hi], &evs)
 		si = hi
 		s.NextToggle += s.SwitchTick
-		if rng.Float64() < toggleProbDur(s.SwitchTick, s.P.MeanSwitch) {
+		if rng.Float64() < model.ToggleProb(s.SwitchTick, s.P.MeanSwitch) {
 			s.Toggle()
 		}
 	}
 	s.Run(until, sends[si:], &evs)
 	return evs
-}
-
-// toggleProbDur mirrors model's internal toggle probability; duplicated
-// here because the model package deliberately keeps it unexported (it is
-// an inference discretization detail, not part of the network model).
-func toggleProbDur(tick, mean time.Duration) float64 {
-	if mean <= 0 || tick <= 0 {
-		return 0
-	}
-	return 1 - math.Exp(-tick.Seconds()/mean.Seconds())
 }
 
 // ess computes the effective sample size 1/Σw².

@@ -110,11 +110,13 @@ type Dequeuer interface {
 // Dequeuer (the queue feeding it) and delivers each packet to its
 // downstream Node after the packet's transmission time.
 type Throughput struct {
-	loop *sim.Loop
-	rate units.BitRate
-	src  Dequeuer
-	next Node
-	busy bool
+	loop     *sim.Loop
+	rate     units.BitRate
+	src      Dequeuer
+	next     Node
+	busy     bool
+	inflight packet.Packet
+	done     *sim.Timer
 
 	// Served counts packets fully serialized, by flow.
 	Served map[packet.FlowID]int
@@ -124,12 +126,26 @@ type Throughput struct {
 
 // NewThroughput returns a link of the given rate delivering to next.
 func NewThroughput(loop *sim.Loop, rate units.BitRate, next Node) *Throughput {
-	return &Throughput{
+	t := &Throughput{
 		loop:   loop,
 		rate:   rate,
 		next:   next,
 		Served: make(map[packet.FlowID]int),
 	}
+	t.done = sim.NewTimer(loop, t.finish)
+	return t
+}
+
+// finish completes the in-service packet and pulls the next one. The
+// in-service slot is cleared before delivery: delivering can reentrantly
+// Kick this link (receiver ack -> sender -> enqueue), which loads the
+// next packet into the slot.
+func (t *Throughput) finish() {
+	p := t.inflight
+	t.inflight = packet.Packet{}
+	t.busy = false
+	t.deliver(p)
+	t.Kick()
 }
 
 // SetNext implements Wirer.
@@ -165,11 +181,8 @@ func (t *Throughput) Kick() {
 		return
 	}
 	t.busy = true
-	t.loop.After(units.TransmitTime(p.Bits(), t.rate), func() {
-		t.busy = false
-		t.deliver(p)
-		t.Kick()
-	})
+	t.inflight = p
+	t.done.Arm(units.TransmitTime(p.Bits(), t.rate))
 }
 
 func (t *Throughput) deliver(p packet.Packet) {

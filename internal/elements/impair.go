@@ -8,16 +8,22 @@ import (
 
 // Delay is the paper's DELAY element: every packet is forwarded after a
 // fixed delay. Packets never reorder through a Delay because the delay is
-// constant.
+// constant, which is also why it can ride a single sim.DelayLine instead
+// of scheduling one event per packet.
 type Delay struct {
-	loop *sim.Loop
-	d    time.Duration
+	line *sim.DelayLine[packet.Packet]
 	next Node
 }
 
 // NewDelay returns a Delay of d feeding next.
 func NewDelay(loop *sim.Loop, d time.Duration, next Node) *Delay {
-	return &Delay{loop: loop, d: d, next: next}
+	e := &Delay{next: next}
+	e.line = sim.NewDelayLine(loop, d, func(p packet.Packet) {
+		if e.next != nil {
+			e.next.Receive(p)
+		}
+	})
+	return e
 }
 
 // SetNext implements Wirer.
@@ -25,11 +31,7 @@ func (e *Delay) SetNext(n Node) { e.next = n }
 
 // Receive implements Node.
 func (e *Delay) Receive(p packet.Packet) {
-	e.loop.After(e.d, func() {
-		if e.next != nil {
-			e.next.Receive(p)
-		}
-	})
+	e.line.Push(p)
 }
 
 // Loss is the paper's LOSS element: each packet is independently dropped

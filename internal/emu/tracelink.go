@@ -22,8 +22,9 @@ type TraceLink struct {
 	next    elements.Node
 
 	q        []packet.Packet
+	head     int
 	usedBits int64
-	armed    *sim.Event
+	deliverT *sim.Timer
 
 	// Delivered and Drops count packets by flow.
 	Delivered map[packet.FlowID]int
@@ -39,7 +40,7 @@ func NewTraceLink(loop *sim.Loop, tr trace.Trace, capBits int64, next elements.N
 	if err := tr.Validate(); err != nil {
 		panic("emu: " + err.Error())
 	}
-	return &TraceLink{
+	l := &TraceLink{
 		loop:      loop,
 		tr:        tr,
 		capBits:   capBits,
@@ -47,6 +48,8 @@ func NewTraceLink(loop *sim.Loop, tr trace.Trace, capBits int64, next elements.N
 		Delivered: make(map[packet.FlowID]int),
 		Drops:     make(map[packet.FlowID]int),
 	}
+	l.deliverT = sim.NewTimer(loop, l.fire)
+	return l
 }
 
 // SetNext implements elements.Wirer.
@@ -71,27 +74,32 @@ func (l *TraceLink) Receive(p packet.Packet) {
 
 // arm schedules delivery at the next opportunity if not already armed.
 func (l *TraceLink) arm() {
-	if l.armed != nil && !l.armed.Cancelled() {
+	if l.deliverT.Armed() {
 		return
 	}
-	if len(l.q) == 0 {
+	if l.head == len(l.q) {
 		return
 	}
 	at, ok := l.tr.Next(l.loop.Now())
 	if !ok {
 		return // finite trace exhausted: the link is dead
 	}
-	l.armed = l.loop.Schedule(at, l.fire)
+	l.deliverT.ArmAt(at)
 }
 
 func (l *TraceLink) fire() {
-	l.armed = nil
-	if len(l.q) == 0 {
+	if l.head == len(l.q) {
 		return
 	}
-	p := l.q[0]
-	copy(l.q, l.q[1:])
-	l.q = l.q[:len(l.q)-1]
+	p := l.q[l.head]
+	l.q[l.head] = packet.Packet{}
+	l.head++
+	// Reclaim the drained prefix once it dominates the slice, keeping
+	// dequeues O(1) amortized without a ring buffer.
+	if l.head > 64 && l.head*2 >= len(l.q) {
+		l.q = l.q[:copy(l.q, l.q[l.head:])]
+		l.head = 0
+	}
 	l.usedBits -= p.Bits()
 	l.Delivered[p.Flow]++
 	if l.next != nil {

@@ -77,11 +77,14 @@ func RunFig1(cfg Fig1Config) Fig1Result {
 
 	var sender *tcp.Sender
 	recv := tcp.NewReceiver(loop, nil)
-	// Return path: half the base RTT.
+	// Return path: half the base RTT, carried by one reusable delay line
+	// instead of a scheduled closure per acknowledgment.
+	type ackMsg struct{ ackNext, echoSentAt int64 }
+	ackLine := sim.NewDelayLine(loop, cfg.BaseRTT/2, func(m ackMsg) {
+		sender.OnAck(m.ackNext, time.Duration(m.echoSentAt))
+	})
 	recv.OnAck = func(ackNext int64, echoSentAt int64) {
-		loop.After(cfg.BaseRTT/2, func() {
-			sender.OnAck(ackNext, time.Duration(echoSentAt))
-		})
+		ackLine.Push(ackMsg{ackNext, echoSentAt})
 	}
 
 	link := emu.NewTraceLink(loop, tr, units.BytesToBits(cfg.BufferBytes), nil)

@@ -165,6 +165,36 @@ func (s *State) Clone() State {
 	return c
 }
 
+// CloneInto copies s into dst, reusing dst's Queue capacity. It is the
+// allocation-free Clone used by the rollout engine's scratch states; dst
+// must not alias s.
+func (s *State) CloneInto(dst *State) {
+	q := dst.Queue[:0]
+	*dst = *s
+	dst.Queue = append(q, s.Queue...)
+}
+
+// EqualDynamic reports whether two states at the same instant have
+// identical dynamic network state — same service occupancy and identical
+// queues, including enqueue stamps (which feed delay-sensitive
+// utilities). Two equal states under identical future inputs produce
+// identical futures, which is what lets planner rollouts stop early once
+// a candidate reconverges with its baseline.
+func (s *State) EqualDynamic(o *State) bool {
+	if s.Serving != o.Serving || s.QueueBits != o.QueueBits || len(s.Queue) != len(o.Queue) {
+		return false
+	}
+	if s.Serving && (s.InService != o.InService || s.ServiceDone != o.ServiceDone) {
+		return false
+	}
+	for i := range s.Queue {
+		if s.Queue[i] != o.Queue[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // InFlightOwn reports how many own packets currently occupy the buffer or
 // the link.
 func (s *State) InFlightOwn() int {
@@ -356,6 +386,55 @@ func (s *State) Key() string {
 	return string(buf)
 }
 
+// fnv64 constants for the incremental Hash64 below.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func fnvBool(h uint64, b bool) uint64 {
+	v := uint64(0)
+	if b {
+		v = 1
+	}
+	return (h ^ v) * fnvPrime64
+}
+
+// Hash64 returns an FNV-1a hash over the same canonical fields Key
+// encodes, without allocating. Compaction keys on it instead of the string
+// form: a 64-bit collision over the ~10^5 live hypotheses of even the
+// widest prior is vanishingly unlikely (~n²/2⁶⁵), and the weight it
+// could misattribute is bounded by the weight floor.
+func (s *State) Hash64() uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvU64(h, uint64(s.ParamsID))
+	h = fnvU64(h, uint64(s.Now))
+	h = fnvBool(h, s.PingerOn)
+	h = fnvU64(h, uint64(s.NextCross))
+	h = fnvU64(h, uint64(s.NextToggle))
+	h = fnvBool(h, s.Serving)
+	if s.Serving {
+		h = fnvU64(h, uint64(s.ServiceDone))
+		h = fnvU64(h, uint64(s.InService.Seq))
+		h = fnvU64(h, uint64(s.InService.Bits))
+		h = fnvBool(h, s.InService.Own)
+	}
+	for _, q := range s.Queue {
+		h = fnvU64(h, uint64(q.Seq))
+		h = fnvU64(h, uint64(q.Bits))
+		h = fnvBool(h, q.Own)
+	}
+	return h
+}
+
 // Branch is one weighted outcome of advancing a hypothesis with
 // enumeration of gate toggles.
 type Branch struct {
@@ -411,16 +490,21 @@ func AdvanceEnum(s State, until time.Duration, sends []Send) []Branch {
 		st.Run(at, seg, &it.br.Events)
 		it.si = si
 		st.NextToggle += st.SwitchTick
-		q := toggleProb(st.SwitchTick, st.P.MeanSwitch)
+		q := ToggleProb(st.SwitchTick, st.P.MeanSwitch)
 		if q <= 0 {
 			work = append(work, it)
 			continue
 		}
+		// Copy-on-fork: the flipped branch shares the event prefix,
+		// capacity-clamped so its first further append reallocates
+		// instead of clobbering the sibling's tail. Branches that never
+		// produce another event (the common case in a quiet segment)
+		// never pay for a copy.
 		flipped := item{
 			br: Branch{
 				S:      st.Clone(),
 				W:      it.br.W * q,
-				Events: append([]Event(nil), it.br.Events...),
+				Events: it.br.Events[:len(it.br.Events):len(it.br.Events)],
 			},
 			si: si,
 		}
@@ -431,9 +515,11 @@ func AdvanceEnum(s State, until time.Duration, sends []Send) []Branch {
 	return done
 }
 
-// toggleProb is the probability that a memoryless gate with the given
-// mean switching time toggles within one tick.
-func toggleProb(tick, mean time.Duration) float64 {
+// ToggleProb is the probability that a memoryless gate with the given
+// mean switching time toggles within one tick. It is the single source
+// of truth for the inference discretization: AdvanceEnum forks with it
+// and the particle filter samples with it.
+func ToggleProb(tick, mean time.Duration) float64 {
 	if mean <= 0 || tick <= 0 {
 		return 0
 	}

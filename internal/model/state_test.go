@@ -260,15 +260,15 @@ func TestAdvanceEnumSendAtBoundaryConsumedOnce(t *testing.T) {
 }
 
 func TestToggleProb(t *testing.T) {
-	if got := toggleProb(time.Second, 0); got != 0 {
-		t.Errorf("toggleProb(1s, 0) = %v, want 0", got)
+	if got := ToggleProb(time.Second, 0); got != 0 {
+		t.Errorf("ToggleProb(1s, 0) = %v, want 0", got)
 	}
-	got := toggleProb(time.Second, 100*time.Second)
+	got := ToggleProb(time.Second, 100*time.Second)
 	if got < 0.0099 || got > 0.0101 {
-		t.Errorf("toggleProb(1s, 100s) = %v, want ~0.00995", got)
+		t.Errorf("ToggleProb(1s, 100s) = %v, want ~0.00995", got)
 	}
 	// Monotone in tick length.
-	if toggleProb(2*time.Second, 100*time.Second) <= got {
+	if ToggleProb(2*time.Second, 100*time.Second) <= got {
 		t.Error("toggleProb not monotone in tick")
 	}
 }

@@ -1,0 +1,128 @@
+package planner
+
+import (
+	"testing"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/model"
+	"modelcc/internal/units"
+)
+
+// cacheSupport returns a small steady-state-looking support: empty
+// queues, link idle, gate on, absolute times derived from `at` so the
+// same situation can be reproduced at different wall clocks.
+func cacheSupport(at time.Duration) []belief.Hypothesis {
+	mk := func(rate units.BitRate, w float64, id int32) belief.Hypothesis {
+		p := model.Params{
+			LinkRate:      12000,
+			CrossRate:     rate,
+			MeanSwitch:    100 * time.Second,
+			BufferCapBits: 96000,
+		}
+		s := model.Initial(p, true)
+		s.ParamsID = id
+		s.Now = at
+		s.NextCross = at + 700*time.Millisecond
+		s.NextToggle = at + time.Second
+		return belief.Hypothesis{S: s, W: w}
+	}
+	return []belief.Hypothesis{mk(8400, 0.75, 1), mk(4800, 0.25, 2)}
+}
+
+// TestPolicyCacheHitRebasesWakeAt: a hit must return the memoized delay
+// rebased onto the new decision instant, not the absolute WakeAt of the
+// miss that populated the entry.
+func TestPolicyCacheHitRebasesWakeAt(t *testing.T) {
+	cfg := DefaultConfig()
+	pc := NewPolicyCache(0)
+
+	t1 := 10 * time.Second
+	d1 := pc.Decide(cacheSupport(t1), nil, t1, 5, cfg)
+	if pc.Misses != 1 || pc.Hits != 0 {
+		t.Fatalf("first decision: hits=%d misses=%d, want 0/1", pc.Hits, pc.Misses)
+	}
+
+	t2 := 25 * time.Second
+	d2 := pc.Decide(cacheSupport(t2), nil, t2, 9, cfg)
+	if pc.Hits != 1 {
+		t.Fatalf("translated situation missed the cache: hits=%d misses=%d", pc.Hits, pc.Misses)
+	}
+	if d2.SendNow != d1.SendNow {
+		t.Fatalf("cached action %v differs from computed %v", d2.SendNow, d1.SendNow)
+	}
+	if !d1.SendNow {
+		if d1.WakeAt-t1 != d2.WakeAt-t2 {
+			t.Fatalf("cached delay %v != original %v", d2.WakeAt-t2, d1.WakeAt-t1)
+		}
+		if d2.WakeAt <= t2 {
+			t.Fatalf("cached WakeAt %v not rebased past now %v", d2.WakeAt, t2)
+		}
+	}
+	if d2.Gain != d1.Gain {
+		t.Fatalf("cached gain %v != original %v", d2.Gain, d1.Gain)
+	}
+}
+
+// TestPolicyCacheFingerprintTranslationInvariance: the fingerprint
+// encodes times relative to now, so the same situation at two different
+// instants collides (desired), while a genuinely different situation
+// does not.
+func TestPolicyCacheFingerprintTranslationInvariance(t *testing.T) {
+	s1 := cacheSupport(10 * time.Second)
+	s2 := cacheSupport(173 * time.Second)
+	if fingerprint(s1, nil, 10*time.Second) != fingerprint(s2, nil, 173*time.Second) {
+		t.Error("translated situation fingerprints differ")
+	}
+
+	// Perturb the queue: fingerprint must change.
+	s3 := cacheSupport(10 * time.Second)
+	s3[0].S.Queue = append(s3[0].S.Queue, model.QPkt{Seq: -1, Bits: 12000})
+	if fingerprint(s1, nil, 10*time.Second) == fingerprint(s3, nil, 10*time.Second) {
+		t.Error("different queue contents share a fingerprint")
+	}
+
+	// Perturb the posterior weights beyond the 1e-6 quantum.
+	s4 := cacheSupport(10 * time.Second)
+	s4[0].W, s4[1].W = 0.5, 0.5
+	if fingerprint(s1, nil, 10*time.Second) == fingerprint(s4, nil, 10*time.Second) {
+		t.Error("different weights share a fingerprint")
+	}
+
+	// Pending sends are part of the situation.
+	pend := []model.Send{{Seq: 7, At: 10 * time.Second}}
+	if fingerprint(s1, pend, 10*time.Second) == fingerprint(s1, nil, 10*time.Second) {
+		t.Error("pending send does not affect the fingerprint")
+	}
+}
+
+// TestPolicyCacheResetRepopulates: after the reset-when-full eviction,
+// the cache keeps counting misses correctly and serves hits again once
+// repopulated.
+func TestPolicyCacheResetRepopulates(t *testing.T) {
+	cfg := DefaultConfig()
+	pc := NewPolicyCache(1) // reset on the second distinct situation
+
+	t1 := 10 * time.Second
+	pc.Decide(cacheSupport(t1), nil, t1, 0, cfg)
+
+	// A different situation (extra queued packet) forces an eviction.
+	s2 := cacheSupport(t1)
+	s2[0].S.Queue = append(s2[0].S.Queue, model.QPkt{Seq: -1, Bits: 12000})
+	s2[0].S.QueueBits += 12000
+	pc.Decide(s2, nil, t1, 0, cfg)
+	if pc.Misses != 2 {
+		t.Fatalf("distinct situations: misses=%d, want 2", pc.Misses)
+	}
+
+	// The first situation was evicted by the reset: miss again, then
+	// hit.
+	pc.Decide(cacheSupport(t1), nil, t1, 0, cfg)
+	if pc.Misses != 3 {
+		t.Fatalf("evicted entry still hit: misses=%d, want 3", pc.Misses)
+	}
+	pc.Decide(cacheSupport(t1), nil, t1, 0, cfg)
+	if pc.Hits != 1 {
+		t.Fatalf("repopulated entry missed: hits=%d", pc.Hits)
+	}
+}

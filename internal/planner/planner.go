@@ -22,11 +22,14 @@
 package planner
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"modelcc/internal/belief"
 	"modelcc/internal/model"
+	"modelcc/internal/rollout"
 	"modelcc/internal/utility"
 )
 
@@ -53,6 +56,11 @@ type Config struct {
 	// hypotheses, renormalized (default 256). Planning cost is linear
 	// in it; the discarded tail carries negligible posterior mass.
 	MaxHyps int
+	// Workers shards the per-hypothesis rollouts across a worker pool:
+	// 0 means GOMAXPROCS, 1 forces the serial path. The decision is
+	// bit-identical for every worker count — per-hypothesis results are
+	// written into per-index slots and reduced in index order.
+	Workers int
 }
 
 // DefaultConfig returns the planning parameters used by the experiments.
@@ -103,57 +111,180 @@ type Decision struct {
 	Support int
 }
 
+// lockstepChunk is how often a candidate rollout is checked for
+// reconvergence with its baseline. Coarser chunks amortize the Run-loop
+// entry cost; finer ones stop dead rollouts sooner.
+const lockstepChunk = time.Second
+
 // Decide selects the expected-utility-maximizing action at `now` for the
 // packet with sequence number seq. pending are sends already committed
 // but not yet folded into the belief (they are replayed in every
 // rollout, so successive decisions within one wakeup see each other's
 // queue occupancy).
+//
+// The per-hypothesis work is one forward sweep over a grid of sync
+// stops (every candidate send time, then every lockstepChunk), built
+// for the rollout engine's three economies. (1) The no-send baseline is
+// simulated exactly once; each candidate forks from it in place when
+// the sweep reaches its send time, so [now, now+δ) is never
+// re-simulated. (2) Candidates advance alongside the baseline and
+// retire at the first stop where their state coincides with it —
+// identical states have identical futures (the hypothesis is
+// deterministic during planning: gate frozen, loss in expectation), so
+// every later utility term cancels and the accumulated gain is final;
+// the sweep itself ends when every candidate has retired, which in
+// steady state cuts the simulated span from the 40 s Horizon to the few
+// seconds the extra packet's consequences actually linger. (3)
+// Hypotheses are sharded across cfg.Workers, each with a scratch arena
+// of states, discount meters, and event buffers, so the steady-state
+// decision allocates almost nothing.
 func Decide(sup []belief.Hypothesis, pending []model.Send, now time.Duration, seq int64, cfg Config) Decision {
 	cfg = cfg.withDefaults()
 	hyps := topK(sup, cfg.MaxHyps)
 
 	horizonEnd := now + cfg.MaxDelay + cfg.Horizon
+	candidates := int(cfg.MaxDelay/cfg.Grid) + 1
 
-	// Per-hypothesis no-send baseline.
-	base := make([]float64, len(hyps))
-	var evs []model.Event
-	for i, h := range hyps {
-		st := h.S.Clone()
-		evs = evs[:0]
-		st.Run(horizonEnd, pending, &evs)
-		base[i] = cfg.Util.OfPredicted(evs, now, st.P.LossProb)
+	// Sync stops: candidate send times on the Grid, chunk boundaries to
+	// the horizon, horizonEnd itself. stops[k] for k < candidates is
+	// candidate k's send time.
+	stops := make([]time.Duration, 0, candidates+int(cfg.Horizon/lockstepChunk)+2)
+	for k := 0; k < candidates; k++ {
+		stops = append(stops, now+time.Duration(k)*cfg.Grid)
 	}
+	for t := now + cfg.MaxDelay + lockstepChunk; t < horizonEnd; t += lockstepChunk {
+		stops = append(stops, t)
+	}
+	stops = append(stops, horizonEnd)
 
-	bestDelta := 0
-	bestGain := negInf
-	candidates := 0
-	sends := make([]model.Send, 0, len(pending)+1)
-	for delta := time.Duration(0); delta <= cfg.MaxDelay; delta += cfg.Grid {
-		candidates++
-		sendAt := now + delta
-		sends = sends[:0]
-		// pending are all <= now <= sendAt, so ordering holds.
-		sends = append(sends, pending...)
-		sends = append(sends, model.Send{Seq: seq, At: sendAt})
+	// gains[i*candidates+k] is hypothesis i's utility advantage of
+	// sending at now+k·Grid over not sending, relative to decision time
+	// now. Per-index slots keep the parallel fill deterministic.
+	gains := make([]float64, len(hyps)*candidates)
 
-		var gain float64
-		for i, h := range hyps {
-			st := h.S.Clone()
-			evs = evs[:0]
-			st.Run(horizonEnd, sends, &evs)
-			u := cfg.Util.OfPredicted(evs, now, st.P.LossProb)
-			gain += h.W * (u - base[i])
+	pool, release := acquirePool(cfg.Workers)
+	pool.Run(len(hyps), func(s *rollout.Scratch, i int) {
+		h := &hyps[i]
+		p := h.S.P.LossProb
+		ds, _ := s.Aux.(*decideScratch)
+		if ds == nil {
+			ds = &decideScratch{}
+			s.Aux = ds
 		}
-		// Strict improvement keeps δ=0 only when genuinely better;
-		// equality prefers the later candidate (pacing).
-		if gain >= bestGain {
-			bestGain = gain
-			bestDelta = int(delta / cfg.Grid)
+		ds.ensure(candidates)
+
+		base := &s.Base
+		h.S.CloneInto(base)
+		ds.baseMeter.Reset(cfg.Util, now, p)
+
+		forked, live := 0, 0
+		fork := func(k int) {
+			base.CloneInto(&ds.cands[k])
+			ds.meters[k].Reset(cfg.Util, now, p)
+			ds.gains[k] = 0
+			ds.done[k] = false
+			// The candidate's own send, then any pending sends still
+			// in the future (all pending are <= now in practice, so
+			// the tail is normally empty); At-order holds by
+			// construction.
+			cs := append(ds.candSends[k][:0], model.Send{Seq: seq, At: stops[k]})
+			for _, snd := range pending {
+				if snd.At > stops[k] {
+					cs = append(cs, snd)
+				}
+			}
+			ds.candSends[k] = cs
+			ds.sendIdx[k] = 0
+			forked++
+			live++
+		}
+
+		// Baseline to the first stop (= now), consuming pending sends
+		// due by then; then the sweep forks candidate 0.
+		si := 0
+		for si < len(pending) && pending[si].At <= stops[0] {
+			si++
+		}
+		s.Events = s.Events[:0]
+		base.Run(stops[0], pending[:si], &s.Events)
+		ds.baseMeter.Add(s.Events)
+		fork(0)
+
+		for j := 1; j < len(stops) && (forked < candidates || live > 0); j++ {
+			t := stops[j]
+			hi := si
+			for hi < len(pending) && pending[hi].At <= t {
+				hi++
+			}
+			s.Events = s.Events[:0]
+			base.Run(t, pending[si:hi], &s.Events)
+			si = hi
+			baseSegU := ds.baseMeter.Add(s.Events)
+
+			for k := 0; k < forked; k++ {
+				if ds.done[k] {
+					continue
+				}
+				cs := ds.candSends[k]
+				cHi := ds.sendIdx[k]
+				for cHi < len(cs) && cs[cHi].At <= t {
+					cHi++
+				}
+				s.Events = s.Events[:0]
+				ds.cands[k].Run(t, cs[ds.sendIdx[k]:cHi], &s.Events)
+				ds.sendIdx[k] = cHi
+				ds.gains[k] += ds.meters[k].Add(s.Events) - baseSegU
+				// Identical states with identical remaining sends
+				// have identical futures: every later utility term
+				// cancels, so this candidate's gain is final. (The
+				// send streams differ only by the candidate's own
+				// packet, consumed by the first stop after its fork.)
+				if ds.cands[k].EqualDynamic(base) {
+					ds.done[k] = true
+					live--
+				}
+			}
+			if j < candidates {
+				fork(j)
+			}
+		}
+		copy(gains[i*candidates:(i+1)*candidates], ds.gains)
+	})
+	release()
+
+	// Sequential reduce, candidate-major like the serial planner: ties
+	// keep preferring the later send time (pacing). The tie widens to a
+	// band of tieEps — 1e-6 of one packet's utility, the natural scale
+	// of a gain — because at the α=1 knife edge, where a sent packet's
+	// gain and the cross packet it displaces cancel exactly, rounding
+	// noise must not masquerade as a reason to send. Scaling to packet
+	// utility (rather than an absolute constant) keeps the band
+	// meaningful for small-κ configurations where all utilities shrink.
+	var tieEps float64
+	for i := range hyps {
+		if b := 1e-6 * float64(hyps[i].S.P.PktBits()); b > tieEps {
+			tieEps = b
+		}
+	}
+	bestDelta := 0
+	maxGain := negInf
+	chosenGain := negInf
+	for k := 0; k < candidates; k++ {
+		var gain float64
+		for i := range hyps {
+			gain += hyps[i].W * gains[i*candidates+k]
+		}
+		if gain > maxGain {
+			maxGain = gain
+		}
+		if gain >= maxGain-tieEps {
+			bestDelta = k
+			chosenGain = gain
 		}
 	}
 
 	d := Decision{
-		Gain:       bestGain,
+		Gain:       chosenGain,
 		Candidates: candidates,
 		Support:    len(hyps),
 	}
@@ -167,6 +298,54 @@ func Decide(sup []belief.Hypothesis, pending []model.Send, now time.Duration, se
 }
 
 const negInf = -1e308
+
+// decideScratch is a worker's planner-specific arena: one live state,
+// meter, gain cell, and send view per candidate, reused across decisions
+// via rollout.Scratch.Aux.
+type decideScratch struct {
+	baseMeter utility.Meter
+	cands     []model.State
+	meters    []utility.Meter
+	gains     []float64
+	done      []bool
+	candSends [][]model.Send
+	sendIdx   []int
+}
+
+func (ds *decideScratch) ensure(k int) {
+	if cap(ds.cands) < k {
+		ds.cands = make([]model.State, k)
+		ds.meters = make([]utility.Meter, k)
+		ds.gains = make([]float64, k)
+		ds.done = make([]bool, k)
+		ds.candSends = make([][]model.Send, k)
+		ds.sendIdx = make([]int, k)
+	}
+	ds.cands = ds.cands[:k]
+	ds.meters = ds.meters[:k]
+	ds.gains = ds.gains[:k]
+	ds.done = ds.done[:k]
+	ds.candSends = ds.candSends[:k]
+	ds.sendIdx = ds.sendIdx[:k]
+}
+
+// poolCache shares rollout pools (and their scratch arenas) between
+// Decide calls of the same width, without coupling concurrent callers:
+// each call checks a pool out for its duration.
+var poolCache sync.Map // width -> *sync.Pool of *rollout.Pool
+
+func acquirePool(width int) (*rollout.Pool, func()) {
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	v, _ := poolCache.LoadOrStore(width, &sync.Pool{})
+	sp := v.(*sync.Pool)
+	p, ok := sp.Get().(*rollout.Pool)
+	if !ok {
+		p = rollout.New(width)
+	}
+	return p, func() { sp.Put(p) }
+}
 
 // topK returns the k heaviest hypotheses, renormalized. It copies; the
 // input order is preserved for k >= len.

@@ -1,0 +1,141 @@
+// Package rollout is the shared execution engine under the belief layer
+// and the planner: both spend essentially all of their time advancing
+// independent hypotheses ("rollouts"), so this package provides the one
+// mechanism they share — a bounded worker pool that shards an index
+// space across workers, with a per-worker scratch arena of reusable
+// model buffers so the inner loops allocate nothing.
+//
+// Determinism is load-bearing. Workers only ever write results into
+// per-index slots of caller-presized slices, and every reduction the
+// callers perform walks those slots in index order; randomness, where a
+// task needs it (the particle filter), comes from a per-index SplitMix64
+// stream derived from the caller's parent seed. Together these make the
+// output bit-identical for any worker count, including 1 — which is what
+// the serial/parallel equivalence tests assert.
+package rollout
+
+import (
+	"runtime"
+	"sync"
+
+	"modelcc/internal/model"
+)
+
+// Scratch is one worker's private arena: reusable buffers the hot loops
+// clone and simulate into instead of allocating. Slices handed back to
+// the caller must be copied out or consumed before the next use of the
+// same scratch index.
+type Scratch struct {
+	// State and Base are reusable clone targets.
+	State, Base model.State
+	// Events is a reusable event buffer.
+	Events []model.Event
+	// Sends is a reusable send buffer.
+	Sends []model.Send
+	// Aux carries a caller-defined arena (e.g. the planner's
+	// per-candidate states and meters); it stays attached to the worker
+	// across calls so its buffers amortize too.
+	Aux any
+}
+
+// Pool runs index-sharded jobs on up to Workers goroutines. The zero
+// value is not usable; construct with New. A Pool is safe for reuse
+// across calls but a single Run must finish before the next begins (the
+// scratch arenas are per-worker, not per-call).
+type Pool struct {
+	workers int
+	scratch []*Scratch
+}
+
+// New returns a pool of the given width; workers <= 0 means
+// GOMAXPROCS(0). Width 1 runs every job inline on the caller's
+// goroutine.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, scratch: make([]*Scratch, workers)}
+	for i := range p.scratch {
+		p.scratch[i] = &Scratch{}
+	}
+	return p
+}
+
+// Workers reports the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run invokes fn(scratch, i) for every i in [0, n), sharding the index
+// space into contiguous chunks, one per worker. fn must confine its
+// writes to per-index data (plus its scratch); it must not touch state
+// shared across indices. Run returns when every index has been
+// processed.
+func (p *Pool) Run(n int, fn func(s *Scratch, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		s := p.scratch[0]
+		for i := 0; i < n; i++ {
+			fn(s, i)
+		}
+		return
+	}
+	// Contiguous chunks: worker w handles [w*chunk+min(w,rem) ...), so
+	// chunk sizes differ by at most one.
+	chunk := n / workers
+	rem := n % workers
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w*chunk + min(w, rem)
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		go func(s *Scratch, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(s, i)
+			}
+		}(p.scratch[w], lo, hi)
+	}
+	wg.Wait()
+}
+
+// Rand is a SplitMix64 stream: a tiny, allocation-free PRNG whose state
+// is one word, used to give every particle its own deterministic stream
+// derived from the parent seed regardless of which worker advances it.
+// (math/rand's default source carries a 607-word table — far too heavy
+// to derive per particle per update.)
+type Rand struct{ s uint64 }
+
+// Stream returns the deterministic stream for index i under the given
+// parent seed. The start state is passed through the SplitMix64
+// finalizer so distinct indices land at scattered points of the
+// sequence — without this, Stream(seed, i+1) would be Stream(seed, i)
+// advanced by one draw, and a population of particles would toggle in
+// shifted-duplicate patterns instead of independently.
+func Stream(seed int64, i int) Rand {
+	z := uint64(seed) + uint64(i)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return Rand{s: z ^ (z >> 31)}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

@@ -100,6 +100,39 @@ func (l *Loop) After(d time.Duration, do func()) *Event {
 	return l.Schedule(at, do)
 }
 
+// Reschedule re-arms an event the caller owns exclusively: a fired or
+// cancelled event is pushed back onto the queue, a still-pending one is
+// moved to the new time. The event's callback is unchanged. This is the
+// allocation-free path used by Timer and the delay-line elements — a
+// caller that hands out *Event to third parties must not use it, because
+// a stale handle would then refer to a live, reused event.
+func (l *Loop) Reschedule(e *Event, at time.Duration) {
+	if at < l.now {
+		panic(fmt.Sprintf("sim: rescheduling into the past: at=%v now=%v", at, l.now))
+	}
+	if e.do == nil {
+		panic("sim: rescheduling an event with no callback")
+	}
+	e.cancel = false
+	e.at = at
+	e.seq = l.nextSeq
+	l.nextSeq++
+	if e.index >= 0 {
+		heap.Fix(&l.pq, e.index)
+	} else {
+		heap.Push(&l.pq, e)
+	}
+}
+
+// Bind prepares an owned event for use with Reschedule without
+// scheduling it. The returned event is inert until rescheduled.
+func Bind(do func()) Event {
+	if do == nil {
+		panic("sim: nil event callback")
+	}
+	return Event{do: do, index: -1}
+}
+
 // Cancel prevents a scheduled event from firing. Cancelling a nil, fired,
 // or already-cancelled event is a no-op, so callers can cancel
 // unconditionally.

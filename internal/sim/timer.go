@@ -6,10 +6,15 @@ import "time"
 // state the ISENDER's "sleep until time t" action needs (§3.2): arming it
 // again replaces the previous deadline, and Stop cancels it.
 //
+// The timer owns a single heap event for its whole lifetime and re-arms
+// it in place (Loop.Reschedule), so arming is allocation-free no matter
+// how often it fires — re-arming a retransmission timer per
+// acknowledgment costs nothing.
+//
 // The zero value is not usable; create one with NewTimer.
 type Timer struct {
 	loop *Loop
-	ev   *Event
+	ev   Event
 	fn   func()
 }
 
@@ -18,17 +23,15 @@ func NewTimer(l *Loop, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: nil timer callback")
 	}
-	return &Timer{loop: l, fn: fn}
+	t := &Timer{loop: l, fn: fn}
+	t.ev = Bind(func() { t.fn() })
+	return t
 }
 
 // ArmAt sets the timer to fire at absolute virtual time at, replacing any
 // previous deadline.
 func (t *Timer) ArmAt(at time.Duration) {
-	t.Stop()
-	t.ev = t.loop.Schedule(at, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.loop.Reschedule(&t.ev, at)
 }
 
 // Arm sets the timer to fire d from now, replacing any previous deadline.
@@ -36,14 +39,11 @@ func (t *Timer) Arm(d time.Duration) { t.ArmAt(t.loop.Now() + d) }
 
 // Stop cancels the pending deadline, if any.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.loop.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.loop.Cancel(&t.ev)
 }
 
 // Armed reports whether the timer currently has a pending deadline.
-func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Cancelled() }
+func (t *Timer) Armed() bool { return t.ev.index >= 0 && !t.ev.cancel }
 
 // Deadline reports the pending deadline; ok is false when the timer is
 // stopped.
@@ -51,5 +51,5 @@ func (t *Timer) Deadline() (at time.Duration, ok bool) {
 	if !t.Armed() {
 		return 0, false
 	}
-	return t.ev.At(), true
+	return t.ev.at, true
 }

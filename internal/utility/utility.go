@@ -104,6 +104,93 @@ func (c Config) OfPredicted(evs []model.Event, t0 time.Duration, p float64) floa
 	return u
 }
 
+// Meter accumulates OfPredicted-style utility across the segments of one
+// rollout, exploiting that a rollout's events arrive in time order: the
+// discount is carried forward multiplicatively, exp(-τ₂/κ) =
+// exp(-τ₁/κ)·exp(-Δ/κ), and the per-step factors are memoized in a tiny
+// direct-mapped cache. Delivery times in a rollout sit on a handful of
+// lattices (the link's service time, the pinger grid), so the same Δ
+// recurs constantly and the exp in the hot loop all but disappears. The
+// result differs from OfPredicted only by float rounding (≲1e-12
+// relative over a rollout), far below the planner's tie band.
+//
+// A Meter is single-rollout state: call Reset before each rollout and
+// Add with each segment's events, in time order.
+type Meter struct {
+	alpha, survive, penalty float64
+	t0                      time.Duration
+	invK                    float64 // 1/κ in 1/ns
+
+	lastTau time.Duration
+	lastD   float64
+	cache   [8]expEntry
+}
+
+type expEntry struct {
+	dt time.Duration
+	f  float64
+}
+
+// Reset points the meter at a new rollout: decision time t0, hypothesis
+// loss probability p, and the meter's utility parameters from c.
+func (m *Meter) Reset(c Config, t0 time.Duration, p float64) {
+	k := c.Kappa
+	if k <= 0 {
+		k = time.Second
+	}
+	m.alpha = c.Alpha
+	m.survive = 1 - p
+	m.penalty = c.CrossLatencyPenalty
+	m.t0 = t0
+	m.invK = 1 / float64(k)
+	m.lastTau = 0
+	m.lastD = 1
+	for i := range m.cache {
+		m.cache[i] = expEntry{dt: -1}
+	}
+}
+
+func (m *Meter) discount(tau time.Duration) float64 {
+	if tau <= 0 {
+		return 1
+	}
+	dt := tau - m.lastTau
+	if dt < 0 {
+		// Out-of-order event (should not happen in a rollout): exact.
+		return math.Exp(-float64(tau) * m.invK)
+	}
+	if dt > 0 {
+		i := (uint64(dt) * 0x9e3779b97f4a7c15) >> 61
+		e := &m.cache[i]
+		if e.dt != dt {
+			e.dt = dt
+			e.f = math.Exp(-float64(dt) * m.invK)
+		}
+		m.lastD *= e.f
+		m.lastTau = tau
+	}
+	return m.lastD
+}
+
+// Add accumulates the utility of one segment's events and returns the
+// segment's contribution.
+func (m *Meter) Add(evs []model.Event) float64 {
+	var u float64
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind {
+		case model.OwnDelivered:
+			u += float64(ev.Bits) * m.survive * m.discount(ev.At-m.t0)
+		case model.CrossDelivered:
+			u += m.alpha * float64(ev.Bits) * m.survive * m.discount(ev.At-m.t0)
+			if m.penalty > 0 {
+				u -= m.penalty * float64(ev.Bits) * ev.Delay.Seconds()
+			}
+		}
+	}
+	return u
+}
+
 // OfActual accumulates the realized utility of ground-truth (post-LOSS)
 // events relative to t0: Own/CrossDelivered events have already survived
 // the loss element, and losses contribute nothing. Experiments report
