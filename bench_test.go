@@ -17,6 +17,7 @@ import (
 
 	"modelcc/internal/belief"
 	"modelcc/internal/experiments"
+	"modelcc/internal/fleet"
 	"modelcc/internal/model"
 	"modelcc/internal/packet"
 	"modelcc/internal/planner"
@@ -175,6 +176,30 @@ func BenchmarkCoexistence(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkFleet measures the N-sender arbitration layer
+// (internal/fleet): one whole fleet run per iteration — N coexisting
+// ISENDERs on the shared rollout pool and policy cache — over a 30 s
+// virtual window (large fleets amortize, so the window is shorter than
+// the figure benches'). The ops/s × N gives senders simulated per wall
+// second, the number cmd/benchjson records as the fleet-throughput
+// metric.
+func BenchmarkFleet(b *testing.B) {
+	for _, n := range []int{16, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			printed := false
+			for i := 0; i < b.N; i++ {
+				fl := fleet.New(fleet.Config{N: n, Seed: 7})
+				fl.Run(30 * time.Second)
+				if !printed {
+					printed = true
+					hits, misses := fl.CacheStats()
+					b.Logf("n=%d: drops=%d cache=%d/%d", n, fl.Drops(), hits, misses)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkPlannerDecide measures one action selection over a

@@ -23,6 +23,7 @@ import (
 
 	"modelcc/internal/belief"
 	"modelcc/internal/experiments"
+	"modelcc/internal/fleet"
 	"modelcc/internal/model"
 	"modelcc/internal/packet"
 	"modelcc/internal/planner"
@@ -36,6 +37,9 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
 	MsPerOp     float64 `json:"ms_per_op"`
+	// SendersPerSec is set for the fleet benchmark: senders whose whole
+	// virtual window is simulated per wall second (N / op seconds).
+	SendersPerSec float64 `json:"senders_per_sec,omitempty"`
 }
 
 // Report is the whole run.
@@ -119,6 +123,21 @@ func main() {
 			planner.Decide(bel.Support(), nil, time.Second, 1, cfg)
 		}
 	}))
+
+	// Fleet throughput: one whole 256-sender fleet run per op over a
+	// 30 s virtual window (fleets amortize, so a shorter window than
+	// the figure benches measures the steady state it reaches fast).
+	const fleetN = 256
+	fleetDur := 30 * time.Second
+	fr := measure(fmt.Sprintf("Fleet/n=%d", fleetN), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fl := fleet.New(fleet.Config{N: fleetN, Seed: 7, Workers: *workers})
+			fl.Run(fleetDur)
+		}
+	})
+	fr.SendersPerSec = fleetN / (float64(fr.NsPerOp) / 1e9)
+	rep.Results = append(rep.Results, fr)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

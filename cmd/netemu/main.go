@@ -85,7 +85,7 @@ func main() {
 				return
 			case <-tick.C:
 				fmt.Fprintf(os.Stderr, "netemu: forwarded=%d dropped=%d lost=%d\n",
-					proxy.Forwarded, proxy.Dropped, proxy.Lost)
+					proxy.Forwarded(), proxy.Dropped(), proxy.Lost())
 			}
 		}
 	}()

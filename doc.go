@@ -23,6 +23,29 @@
 // (TestDecideParallelEquivalence, TestExactParallelEquivalence, and
 // TestParticleParallelEquivalence assert this).
 //
+// # Fleets
+//
+// internal/fleet answers §3.5's open multi-sender question at scale: N
+// coexisting ISENDERs (2 to thousands) share one bottleneck inside one
+// process on the discrete-event loop. Three mechanisms make a large
+// fleet affordable — one rollout pool whose scratch arenas serve every
+// member (belief.Config.Pool / planner.Config.Pool), a central
+// scheduler that batches same-instant acknowledgments into one belief
+// update per sender and staggers decision epochs across the fleet, and
+// a shared planner.PolicyCache so members in recurring near-identical
+// situations reuse one computed decision. Small fleets (N <= 4) keep
+// the two-flow coexistence experiments' full model resolution and the
+// paper's no-overflow politeness; larger fleets deliberately coarsen
+// the model (cross traffic in aggregate chunks via
+// model.Params.CrossPktBits, a wider gate-toggle grid) to stay bounded,
+// and experiments.FairnessSweep measures what that trade costs: under a
+// FIFO bottleneck, fairness degrades with N as winners capture the
+// link, while the deficit-round-robin FairQueue restores a near-even
+// split. The two-flow coexistence experiments are now thin layers over
+// the same machinery (fleet.Member, a fleet of N = 2), and
+// cmd/fleetsim drives sweeps from the command line. Fleet runs are
+// bit-identical for any Workers width, like everything else here.
+//
 // # Benchmark tracking
 //
 // Run the full suite with

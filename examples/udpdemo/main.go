@@ -95,7 +95,7 @@ func run() error {
 		stats.Sent, stats.Acked, stats.MeanOWD.Round(time.Millisecond), stats.Wakes)
 	fmt.Printf("posterior E[link rate]=%v (truth: %v); %d hypotheses standing\n",
 		e.ELinkRate, units.BitRate(linkRate), e.N)
-	fmt.Printf("proxy: forwarded=%d dropped=%d\n", proxy.Forwarded, proxy.Dropped)
+	fmt.Printf("proxy: forwarded=%d dropped=%d\n", proxy.Forwarded(), proxy.Dropped())
 	if stats.Acked == 0 {
 		return fmt.Errorf("no packets acknowledged")
 	}

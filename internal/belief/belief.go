@@ -24,6 +24,7 @@ import (
 
 	"modelcc/internal/model"
 	"modelcc/internal/packet"
+	"modelcc/internal/rollout"
 )
 
 // Hypothesis is one weighted network configuration.
@@ -113,6 +114,13 @@ type Config struct {
 	// per-particle random stream from the parent seed, so its draws do
 	// not depend on scheduling).
 	Workers int
+	// Pool, when non-nil, supplies the worker pool instead of the belief
+	// constructing a private one of Workers width. A fleet of senders
+	// (internal/fleet) hands every member the same pool so their scratch
+	// arenas amortize across the whole fleet. The pool must not be used
+	// from multiple goroutines at once; the single-goroutine sim loop
+	// guarantees that. Results remain bit-identical for any pool width.
+	Pool *rollout.Pool
 }
 
 // DefaultConfig returns the bounds used by the experiments.

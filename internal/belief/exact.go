@@ -59,11 +59,15 @@ func NewExact(states []model.State, cfg Config) *Exact {
 		hyps[i] = Hypothesis{S: s.Clone(), W: w}
 	}
 	cfg = cfg.withDefaults()
+	pool := cfg.Pool
+	if pool == nil {
+		pool = rollout.New(cfg.Workers)
+	}
 	return &Exact{
 		cfg:     cfg,
 		hyps:    hyps,
 		recent:  make(map[int64]time.Duration),
-		pool:    rollout.New(cfg.Workers),
+		pool:    pool,
 		byKey:   make(map[uint64]int),
 		segAcks: make(map[int64]time.Duration),
 	}

@@ -69,12 +69,16 @@ func NewParticle(states []model.State, n int, cfg Config, rng *rand.Rand) *Parti
 		ps[i] = Hypothesis{S: src.Clone(), W: w}
 	}
 	cfg = cfg.withDefaults()
+	pool := cfg.Pool
+	if pool == nil {
+		pool = rollout.New(cfg.Workers)
+	}
 	return &Particle{
 		cfg:       cfg,
 		rng:       rng,
 		particles: ps,
 		dirty:     true,
-		pool:      rollout.New(cfg.Workers),
+		pool:      pool,
 		lws:       make([]float64, n),
 		prevW:     make([]float64, n),
 		byKey:     make(map[uint64]int),

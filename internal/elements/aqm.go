@@ -120,6 +120,13 @@ type FairQueue struct {
 	nextIdx  int
 	drain    *Throughput
 
+	// bits caches each flow's queued occupancy and active counts the
+	// flows with queued packets, so admission is O(1) in the flow count
+	// — with hundreds of fleet senders behind one bottleneck, the
+	// original recompute-by-iteration cost dominated the run.
+	bits   map[packet.FlowID]int64
+	active int
+
 	// Drops counts discarded packets by flow.
 	Drops map[packet.FlowID]int
 }
@@ -129,6 +136,7 @@ func NewFairQueue(capBits int64) *FairQueue {
 	return &FairQueue{
 		capBits: capBits,
 		queues:  make(map[packet.FlowID][]packet.Packet),
+		bits:    make(map[packet.FlowID]int64),
 		Drops:   make(map[packet.FlowID]int),
 	}
 }
@@ -143,22 +151,21 @@ func (f *FairQueue) AttachDrain(t *Throughput) {
 func (f *FairQueue) UsedBits() int64 { return f.usedBits }
 
 // activeFlows reports the number of flows with queued packets.
-func (f *FairQueue) activeFlows() int {
-	n := 0
-	for _, q := range f.queues {
-		if len(q) > 0 {
-			n++
-		}
-	}
-	return n
-}
+func (f *FairQueue) activeFlows() int { return f.active }
 
-func (f *FairQueue) flowBits(flow packet.FlowID) int64 {
-	var bits int64
-	for _, q := range f.queues[flow] {
-		bits += q.Bits()
+func (f *FairQueue) flowBits(flow packet.FlowID) int64 { return f.bits[flow] }
+
+// addBits adjusts a flow's cached occupancy and the active-flow count.
+func (f *FairQueue) addBits(flow packet.FlowID, delta int64) {
+	before := f.bits[flow]
+	after := before + delta
+	f.bits[flow] = after
+	f.usedBits += delta
+	if before == 0 && after > 0 {
+		f.active++
+	} else if before > 0 && after == 0 {
+		f.active--
 	}
-	return bits
 }
 
 // Receive implements Node. A packet is accepted if the flow's occupancy
@@ -198,11 +205,11 @@ func (f *FairQueue) Receive(p packet.Packet) {
 		q := f.queues[victim]
 		out := q[len(q)-1]
 		f.queues[victim] = q[:len(q)-1]
-		f.usedBits -= out.Bits()
+		f.addBits(victim, -out.Bits())
 		f.Drops[victim]++
 	}
 	f.queues[p.Flow] = append(f.queues[p.Flow], p)
-	f.usedBits += p.Bits()
+	f.addBits(p.Flow, p.Bits())
 	if f.drain != nil {
 		f.drain.Kick()
 	}
@@ -223,7 +230,7 @@ func (f *FairQueue) Dequeue() (packet.Packet, bool) {
 		p := q[0]
 		copy(q, q[1:])
 		f.queues[flow] = q[:len(q)-1]
-		f.usedBits -= p.Bits()
+		f.addBits(flow, -p.Bits())
 		f.nextIdx = (idx + 1) % len(f.order)
 		return p, true
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"modelcc/internal/trace"
@@ -45,9 +46,21 @@ type Proxy struct {
 	usedBits int64
 	rng      *rand.Rand
 
-	// Forwarded, Dropped, Lost count packets through the emulated link.
-	Forwarded, Dropped, Lost int64
+	// forwarded, dropped, lost count packets through the emulated
+	// link. They are written from the proxy's goroutines (including
+	// delayed-delivery timers) while callers poll, so they are atomic;
+	// read them through Forwarded/Dropped/Lost.
+	forwarded, dropped, lost atomic.Int64
 }
+
+// Forwarded reports packets delivered through the emulated link.
+func (p *Proxy) Forwarded() int64 { return p.forwarded.Load() }
+
+// Dropped reports packets tail-dropped at the emulated queue.
+func (p *Proxy) Dropped() int64 { return p.dropped.Load() }
+
+// Lost reports packets dropped by the emulated LOSS element.
+func (p *Proxy) Lost() int64 { return p.lost.Load() }
 
 type queued struct {
 	payload []byte
@@ -134,7 +147,7 @@ func (p *Proxy) clientReader(ctx context.Context) {
 		p.mu.Lock()
 		p.client = addr
 		if p.usedBits+bits > p.cfg.QueueBits {
-			p.Dropped++
+			p.dropped.Add(1)
 			p.mu.Unlock()
 			continue
 		}
@@ -171,12 +184,12 @@ func (p *Proxy) scheduler(ctx context.Context, start time.Time) {
 		p.mu.Unlock()
 
 		if p.cfg.LossProb > 0 && p.rng.Float64() < p.cfg.LossProb {
-			p.Lost++
+			p.lost.Add(1)
 			continue
 		}
 		deliver := func() {
 			if _, err := p.upstream.Write(item.payload); err == nil {
-				p.Forwarded++
+				p.forwarded.Add(1)
 			}
 		}
 		if p.cfg.Delay > 0 {

@@ -6,7 +6,7 @@ import (
 	"modelcc/internal/belief"
 	"modelcc/internal/core"
 	"modelcc/internal/elements"
-	"modelcc/internal/model"
+	"modelcc/internal/fleet"
 	"modelcc/internal/packet"
 	"modelcc/internal/planner"
 	"modelcc/internal/sim"
@@ -23,81 +23,11 @@ import (
 // not isochronous) is absorbed by the soft observation likelihood
 // (belief.Config.SoftSigma), and the belief runs in Relax mode so a
 // surprise cannot abort the run.
-
-// simSender adapts a core.Sender to the simulator: it injects packets as
-// DES packets, receives acks from an elements.Receiver, and keeps its
-// wake timer on the loop.
-type simSender struct {
-	loop   *sim.Loop
-	sender *core.Sender
-	flow   packet.FlowID
-	out    elements.Node
-	timer  *sim.Timer
-	acks   []packet.Ack
-
-	// SentSeq and AckedSeq are the run series for this flow.
-	SentSeq, AckedSeq stats.Series
-}
-
-func newSimSender(loop *sim.Loop, s *core.Sender, flow packet.FlowID, out elements.Node) *simSender {
-	ss := &simSender{loop: loop, sender: s, flow: flow, out: out}
-	ss.SentSeq.Name = flow.String() + " sent"
-	ss.AckedSeq.Name = flow.String() + " acked"
-	ss.timer = sim.NewTimer(loop, func() { ss.wake() })
-	return ss
-}
-
-func (ss *simSender) start() { ss.loop.After(0, ss.wake) }
-
-// onAck is wired to the flow's receiver.
-func (ss *simSender) onAck(a packet.Ack) {
-	ss.AckedSeq.Add(ss.loop.Now(), float64(a.Seq))
-	ss.acks = append(ss.acks, a)
-	ss.wake()
-}
-
-func (ss *simSender) wake() {
-	now := ss.loop.Now()
-	acks := ss.acks
-	ss.acks = nil
-	act := ss.sender.Wake(now, acks)
-	for _, snd := range act.Sends {
-		ss.SentSeq.Add(now, float64(snd.Seq))
-		ss.out.Receive(packet.Packet{
-			Flow:      ss.flow,
-			Seq:       snd.Seq,
-			SizeBytes: packet.DefaultSizeBytes,
-			SentAt:    now,
-		})
-	}
-	if act.WakeAt <= now {
-		act.WakeAt = now + 10*time.Millisecond
-	}
-	ss.timer.ArmAt(act.WakeAt)
-}
-
-// coexistPrior is the belief each coexisting ISENDER uses: known link
-// and buffer (the open question is competitor inference, not link
-// inference), unknown competitor rate and gate state.
-func coexistPrior() model.Prior {
-	return model.Prior{
-		LinkRate:       model.PriorRange{Lo: 12000, Hi: 12000, N: 1},
-		CrossFrac:      model.PriorRange{Lo: 0.2, Hi: 0.8, N: 4},
-		LossProb:       model.PriorRange{Lo: 0, Hi: 0, N: 1},
-		BufferCapBits:  model.PriorRange{Lo: 96000, Hi: 96000, N: 1},
-		FullnessSteps:  2,
-		MeanSwitch:     30 * time.Second,
-		PingerMaybeOff: true,
-	}
-}
-
-func coexistBeliefCfg() belief.Config {
-	return belief.Config{
-		SoftSigma: 300 * time.Millisecond,
-		Relax:     true,
-		MaxHyps:   1 << 12,
-	}
-}
+//
+// The two-flow experiments are now thin layers over internal/fleet: the
+// sender-to-simulator adapter that used to live here is fleet.Member,
+// and RunTwoISenders is literally a fleet of N = 2 (FairnessSweep scales
+// the same machinery to hundreds of senders).
 
 // CoexistResult summarizes a two-flow sharing run.
 type CoexistResult struct {
@@ -112,75 +42,49 @@ type CoexistResult struct {
 	ASeries, BSeries stats.Series
 }
 
-func jain(a, b float64) float64 {
-	if a+b == 0 {
-		return 1
-	}
-	return (a + b) * (a + b) / (2 * (a*a + b*b))
-}
-
 // RunTwoISenders shares one 12 kbit/s bottleneck between two ISENDERs
 // with the same α=1 utility, each modeling the other as cross traffic.
+// It is a fleet of two: the default fleet parameters reproduce the
+// original two-flow topology exactly (6000 bit/s fair share each,
+// 96,000-bit shared buffer).
 func RunTwoISenders(seed int64, duration time.Duration) CoexistResult {
-	loop := sim.New(seed)
+	fl := fleet.New(fleet.Config{N: 2, Seed: seed})
+	fl.Run(duration)
 
-	var a, bSnd *simSender
-	recv := elements.NewReceiver(loop, func(ack packet.Ack) {
-		switch ack.Flow {
-		case packet.FlowSelf:
-			a.onAck(ack)
-		case packet.FlowOther:
-			bSnd.onAck(ack)
-		}
-	})
-	buf, _ := elements.NewBottleneck(loop, 96000, 12000, recv)
-
-	mk := func(flow packet.FlowID) *simSender {
-		states, _ := coexistPrior().Enumerate()
-		b := belief.NewExact(states, coexistBeliefCfg())
-		u := utility.Default()
-		u.Alpha = 1
-		plan := planner.DefaultConfig()
-		plan.Util = u
-		return newSimSender(loop, core.NewSender(b, plan), flow, buf)
-	}
-	a = mk(packet.FlowSelf)
-	bSnd = mk(packet.FlowOther)
-
-	a.start()
-	bSnd.start()
-	loop.Run(duration)
-
+	a, b := fl.Members[0], fl.Members[1]
 	half := duration / 2
 	res := CoexistResult{
 		ARate:   a.AckedSeq.Rate(half, duration),
-		BRate:   bSnd.AckedSeq.Rate(half, duration),
-		Drops:   buf.Drops[packet.FlowSelf] + buf.Drops[packet.FlowOther],
+		BRate:   b.AckedSeq.Rate(half, duration),
+		Drops:   fl.Drops(),
 		ASeries: a.AckedSeq,
-		BSeries: bSnd.AckedSeq,
+		BSeries: b.AckedSeq,
 	}
-	res.JainIndex = jain(res.ARate, res.BRate)
+	res.JainIndex = stats.JainIndex([]float64{res.ARate, res.BRate})
 	return res
 }
 
 // RunISenderVsTCP shares the bottleneck between an ISENDER (α = 1) and a
-// Reno sender with unbounded appetite.
+// Reno sender with unbounded appetite. The ISENDER rides the same
+// fleet.Member adapter the fleet uses, standalone (immediate wake per
+// acknowledgment); the competitor is a real TCP state machine rather
+// than another member, so the wiring stays bespoke.
 func RunISenderVsTCP(seed int64, duration time.Duration) CoexistResult {
 	loop := sim.New(seed)
 
-	states, _ := coexistPrior().Enumerate()
-	bel := belief.NewExact(states, coexistBeliefCfg())
+	states, _ := fleet.Prior(12000, 96000, 2).Enumerate()
+	bel := belief.NewExact(states, fleet.DefaultBeliefConfig(2))
 	u := utility.Default()
 	u.Alpha = 1
 	plan := planner.DefaultConfig()
 	plan.Util = u
 
-	var is *simSender
+	var is *fleet.Member
 	var reno *tcp.Sender
 	renoRecv := tcp.NewReceiver(loop, nil)
 
 	isRecv := elements.NewReceiver(loop, func(ack packet.Ack) {
-		is.onAck(ack)
+		is.OnAck(ack)
 	})
 	// TCP segments route to the TCP receiver, the ISENDER's to its own.
 	div := elements.NewDiverter(packet.FlowOther, elements.NodeFunc(renoRecv.Receive), isRecv)
@@ -190,10 +94,10 @@ func RunISenderVsTCP(seed int64, duration time.Duration) CoexistResult {
 		reno.OnAck(ackNext, time.Duration(echoSentAt))
 	}
 
-	is = newSimSender(loop, core.NewSender(bel, plan), packet.FlowSelf, buf)
+	is = fleet.NewMember(loop, core.NewSender(bel, plan), packet.FlowSelf, buf)
 	reno = tcp.NewSender(loop, buf, packet.FlowOther, tcp.Config{})
 
-	is.start()
+	is.Start(0)
 	loop.After(0, reno.Start)
 	loop.Run(duration)
 
@@ -205,6 +109,6 @@ func RunISenderVsTCP(seed int64, duration time.Duration) CoexistResult {
 		ASeries: is.AckedSeq,
 	}
 	res.BSeries = stats.Series{Name: "tcp delivered"}
-	res.JainIndex = jain(res.ARate, res.BRate)
+	res.JainIndex = stats.JainIndex([]float64{res.ARate, res.BRate})
 	return res
 }

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"modelcc/internal/fleet"
+	"modelcc/internal/packet"
+	"modelcc/internal/stats"
+	"modelcc/internal/units"
+)
+
+// FairnessConfig describes an N-sender fairness sweep: one fleet run per
+// N, all sharing the sweep's seed and virtual duration.
+type FairnessConfig struct {
+	// Ns are the fleet sizes to sweep (default 2, 4, 16, 64, 256).
+	Ns []int
+	// Duration is each run's virtual length (default 120 s).
+	Duration time.Duration
+	// Seed drives every run.
+	Seed int64
+	// Alpha is every member's cross-traffic priority (default 1).
+	Alpha float64
+	// PerSenderRate is each sender's fair share (default 6000 bit/s).
+	PerSenderRate units.BitRate
+	// FairQueue selects the DRR bottleneck instead of tail-drop FIFO.
+	FairQueue bool
+	// Workers is the shared rollout pool width per fleet: 0 means
+	// GOMAXPROCS, 1 serial. The sweep's output is bit-identical for any
+	// value (TestFairnessSweepWorkerDeterminism asserts this at N=256).
+	Workers int
+	// NoSharedCache disables the fleet-wide policy cache.
+	NoSharedCache bool
+}
+
+func (c FairnessConfig) withDefaults() FairnessConfig {
+	if len(c.Ns) == 0 {
+		c.Ns = []int{2, 4, 16, 64, 256}
+	}
+	if c.Duration == 0 {
+		c.Duration = 120 * time.Second
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	return c
+}
+
+// FlowStat is one flow's slice of a fairness run.
+type FlowStat struct {
+	// Flow is the member index.
+	Flow int
+	// Rate is the delivered packet rate over the second half of the
+	// run, in packets/s.
+	Rate float64
+	// Delivered counts packets that reached the receiver over the whole
+	// run.
+	Delivered int
+	// MeanDelay and MaxDelay summarize the flow's one-way packet delay
+	// in seconds.
+	MeanDelay, MaxDelay float64
+	// Drops counts the flow's packets discarded at the bottleneck.
+	Drops int
+	// Utility is the flow's realized delivery utility,
+	// Σ bits·exp(-delay/κ) over acknowledged packets.
+	Utility float64
+}
+
+// FairnessPoint is one fleet size's result.
+type FairnessPoint struct {
+	// N is the fleet size.
+	N int
+	// Jain is Jain's fairness index over the per-flow second-half
+	// rates: 1 = perfectly even split.
+	Jain float64
+	// AggRate is the summed second-half delivery rate in packets/s;
+	// LinkPkts is what the bottleneck could carry, for reference.
+	AggRate, LinkPkts float64
+	// MinRate and MaxRate bound the per-flow rates.
+	MinRate, MaxRate float64
+	// MeanDelay is the delivered-packet delay mean across all flows,
+	// in seconds.
+	MeanDelay float64
+	// AggUtility sums the per-flow realized utilities.
+	AggUtility float64
+	// Drops counts bottleneck drops across all flows.
+	Drops int
+	// CacheHits/CacheMisses are the shared policy cache's counters —
+	// the fleet's amortization at work.
+	CacheHits, CacheMisses int
+	// PerFlow holds the per-flow breakdown, indexed by member.
+	PerFlow []FlowStat
+}
+
+// FairnessResult is the whole sweep.
+type FairnessResult struct {
+	// Cfg echoes the resolved configuration.
+	Cfg FairnessConfig
+	// Points holds one entry per fleet size, in Ns order.
+	Points []FairnessPoint
+}
+
+// FairnessSweep runs one fleet per N and reports fairness, per-flow
+// throughput/delay, and aggregate utility at each size. Every run is
+// deterministic given (Seed, Duration, N, Alpha, PerSenderRate,
+// FairQueue) — the Workers knob changes only wall-clock time, never the
+// result.
+func FairnessSweep(cfg FairnessConfig) FairnessResult {
+	cfg = cfg.withDefaults()
+	res := FairnessResult{Cfg: cfg}
+	for _, n := range cfg.Ns {
+		fl := fleet.New(fleet.Config{
+			N:             n,
+			Seed:          cfg.Seed,
+			Alpha:         cfg.Alpha,
+			PerSenderRate: cfg.PerSenderRate,
+			FairQueue:     cfg.FairQueue,
+			Workers:       cfg.Workers,
+			NoSharedCache: cfg.NoSharedCache,
+		})
+		fl.Run(cfg.Duration)
+		res.Points = append(res.Points, fairnessPoint(fl, cfg.Duration))
+	}
+	return res
+}
+
+// fairnessPoint reduces one finished fleet run to its sweep entry.
+// Per-flow data is read in member-index order only, so the reduction is
+// deterministic.
+func fairnessPoint(fl *fleet.Fleet, duration time.Duration) FairnessPoint {
+	half := duration / 2
+	halfSecs := (duration - half).Seconds()
+	p := FairnessPoint{
+		N:        len(fl.Members),
+		LinkPkts: float64(fl.Cfg.LinkRate) / float64(packet.DefaultSizeBits),
+		Drops:    fl.Drops(),
+	}
+	p.CacheHits, p.CacheMisses = fl.CacheStats()
+
+	rates := make([]float64, len(fl.Members))
+	var delays stats.Summary
+	for i, m := range fl.Members {
+		// Delivered rate as acknowledgments per second over the second
+		// half: well-defined even for flows with a single sample, which
+		// a slope fit is not.
+		w := m.AckedSeq.Window(half, duration)
+		rate := float64(w.Len()) / halfSecs
+		rates[i] = rate
+
+		fs := FlowStat{
+			Flow:      i,
+			Rate:      rate,
+			Delivered: fl.Delivered(m.Flow),
+			MeanDelay: m.Delay.Mean(),
+			MaxDelay:  m.Delay.MaxV,
+			Utility:   m.Utility,
+		}
+		if fl.Buffer != nil {
+			fs.Drops = fl.Buffer.Drops[m.Flow]
+		} else if fl.FQ != nil {
+			fs.Drops = fl.FQ.Drops[m.Flow]
+		}
+		p.PerFlow = append(p.PerFlow, fs)
+		p.AggRate += rate
+		p.AggUtility += m.Utility
+		delays.Merge(m.Delay)
+		if i == 0 || rate < p.MinRate {
+			p.MinRate = rate
+		}
+		if rate > p.MaxRate {
+			p.MaxRate = rate
+		}
+	}
+	p.Jain = stats.JainIndex(rates)
+	p.MeanDelay = delays.Mean()
+	return p
+}
+
+// Render prints the sweep as the table the fairness analysis reads:
+// one line per fleet size.
+func (r FairnessResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fairness sweep: %v virtual per run, alpha=%g, seed=%d",
+		r.Cfg.Duration, r.Cfg.Alpha, r.Cfg.Seed)
+	if r.Cfg.FairQueue {
+		b.WriteString(", DRR fair queue")
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-6s %8s %10s %10s %10s %10s %10s %8s %12s\n",
+		"N", "jain", "agg pkt/s", "link pkt/s", "min pkt/s", "max pkt/s", "delay(s)", "drops", "cache h/m")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-6d %8.4f %10.3f %10.3f %10.4f %10.4f %10.3f %8d %7d/%d\n",
+			p.N, p.Jain, p.AggRate, p.LinkPkts, p.MinRate, p.MaxRate, p.MeanDelay, p.Drops, p.CacheHits, p.CacheMisses)
+	}
+	return b.String()
+}

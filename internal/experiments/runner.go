@@ -104,6 +104,10 @@ type ISenderResult struct {
 	// OwnThroughput is the sender's achieved goodput in bits/second
 	// over the whole run.
 	OwnThroughput units.BitRate
+	// Utility is the realized delivery utility of the sender's own
+	// flow: Σ bits·exp(-delay/κ) over acknowledged packets, the same
+	// accounting the fleet fairness sweeps aggregate per flow.
+	Utility float64
 	// UpdateCum aggregates belief work across the run.
 	UpdateCum belief.UpdateStats
 	// Wakes counts sender wakeups.
@@ -172,6 +176,7 @@ func RunISender(cfg ISenderConfig) ISenderResult {
 			case model.OwnDelivered:
 				acks = append(acks, packet.Ack{Flow: packet.FlowSelf, Seq: ev.Seq, ReceivedAt: ev.At})
 				res.AckedSeq.Add(ev.At, float64(ev.Seq))
+				res.Utility += float64(ev.Bits) * cfg.Utility.Discount(ev.Delay)
 			}
 		}
 

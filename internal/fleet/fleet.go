@@ -1,0 +1,525 @@
+// Package fleet hosts N coexisting ISENDERs — from two to thousands —
+// inside one process on a shared discrete-event loop, answering §3.5's
+// open question ("we have not yet experimented with any networks that
+// contain more than one ISENDER") at scale.
+//
+// Three mechanisms keep a large fleet affordable where N independent
+// senders would not be:
+//
+//   - One rollout pool for the whole fleet. Every member's belief
+//     updates and planner rollouts run on the same internal/rollout
+//     worker pool (belief.Config.Pool / planner.Config.Pool), so one
+//     set of scratch arenas — states, meters, event buffers — serves
+//     all N senders instead of N copies of each.
+//
+//   - A central scheduler that batches wakeups. Acknowledgments
+//     arriving at one virtual instant are coalesced per sender and the
+//     dirty senders are drained in one pass, so a sender performs one
+//     belief update per instant rather than one per acknowledgment,
+//     and decision epochs are staggered across the fleet at start so
+//     thousands of senders amortize over the timeline instead of
+//     synchronizing into bursts.
+//
+//   - A shared planner.PolicyCache keyed by belief fingerprint. Fleet
+//     members face recurring, near-identical situations (same prior,
+//     same recurring steady states), so one member's computed decision
+//     serves every other member that reaches the same belief.
+//
+// Each member models the other N-1 flows as the PINGER it knows how to
+// reason about; for large N the modeled cross traffic is aggregated
+// into coarse chunks (model.Params.CrossPktBits) so hypothesis advance
+// cost stays bounded as the competitor count grows. The mismatch — the
+// competitors are neither isochronous nor chunked — is absorbed by the
+// soft observation likelihood, exactly as in the two-flow coexistence
+// experiments this package generalizes.
+//
+// Everything is deterministic: the loop is single-goroutine, the
+// scheduler drains in arrival order, and the shared pool preserves the
+// rollout engine's bit-identical-for-any-width guarantee, so a fleet
+// run's output depends only on its Config (including at Workers = 1
+// versus Workers = GOMAXPROCS — the fairness-sweep determinism test
+// asserts this).
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/core"
+	"modelcc/internal/elements"
+	"modelcc/internal/model"
+	"modelcc/internal/packet"
+	"modelcc/internal/planner"
+	"modelcc/internal/rollout"
+	"modelcc/internal/sim"
+	"modelcc/internal/stats"
+	"modelcc/internal/units"
+	"modelcc/internal/utility"
+)
+
+// Config describes one fleet: N ISENDERs sharing one bottleneck.
+type Config struct {
+	// N is the number of coexisting senders (>= 1).
+	N int
+	// Seed drives the simulation loop's randomness.
+	Seed int64
+	// Alpha is every member's cross-traffic priority (default 1:
+	// bit-neutral, the fair-sharing point).
+	Alpha float64
+	// PerSenderRate is each sender's fair share of the bottleneck; the
+	// link rate is N times it (default 6000 bit/s, half a packet per
+	// second each, so the default fleet matches the two-flow
+	// coexistence experiments at N = 2).
+	PerSenderRate units.BitRate
+	// LinkRate overrides the bottleneck speed when non-zero.
+	LinkRate units.BitRate
+	// BufferCapBits overrides the shared buffer capacity when non-zero;
+	// the default scales with the fleet, 4 packets of headroom per
+	// sender (96,000 bits at N = 2, again matching coexistence).
+	BufferCapBits int64
+	// FairQueue replaces the tail-drop FIFO bottleneck with the
+	// deficit-round-robin FairQueue, the §3.5 non-FIFO scheduling.
+	FairQueue bool
+	// Stagger spreads member start times uniformly over this window so
+	// decision epochs de-synchronize; the default is one fair-share
+	// packet interval. Member i starts at Stagger·i/N.
+	Stagger time.Duration
+	// Workers is the shared rollout pool's width: 0 means GOMAXPROCS,
+	// 1 forces the serial path. Output is bit-identical for any value.
+	Workers int
+	// NoSharedCache disables the fleet-wide policy cache (for the
+	// ablation benchmark; every member then plans from scratch).
+	NoSharedCache bool
+	// CacheEntries bounds the shared policy cache (0 = default).
+	CacheEntries int
+	// Prior overrides the per-member prior when non-nil; the default is
+	// Prior(linkRate, bufferCap, N).
+	PriorOverride *model.Prior
+	// BeliefCfg overrides non-zero fields of the fleet belief defaults.
+	// Pool and Workers are fleet-owned: every member runs on the
+	// fleet's shared pool regardless of what is set here.
+	BeliefCfg belief.Config
+	// Plan overrides non-zero fields of the fleet planner defaults (a
+	// fully zero Plan.Util is replaced by the α-weighted default;
+	// Pool and Workers are fleet-owned, as above).
+	Plan planner.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 2
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.PerSenderRate <= 0 {
+		c.PerSenderRate = 6000
+	}
+	if c.LinkRate <= 0 {
+		c.LinkRate = units.BitRate(float64(c.PerSenderRate) * float64(c.N))
+	}
+	if c.BufferCapBits <= 0 {
+		c.BufferCapBits = 4 * packet.DefaultSizeBits * int64(c.N)
+	}
+	if c.Stagger < 0 {
+		c.Stagger = 0
+	} else if c.Stagger == 0 {
+		c.Stagger = units.TransmitTime(packet.DefaultSizeBits, c.PerSenderRate)
+	}
+	return c
+}
+
+// preciseMaxN is the largest fleet that plans and infers at the full
+// two-flow coexistence resolution. Politeness at the α = 1 knife edge —
+// the paper's "never causes a buffer overflow" — demands a model fine
+// enough to see one packet's displacement, and experiments show it
+// needs BOTH the fine belief (1 s toggle grid, unknown initial
+// fullness, deep weight floor) and the fine planner (200 ms candidate
+// grid, 40 s horizon); each alone already tolerates drops. That
+// resolution costs too much to pay hundreds of times over, so larger
+// fleets deliberately trade the no-drop guarantee for boundedness: a
+// coarse, chunked, amortized model whose shortfalls the fairness sweep
+// measures instead of hides.
+const preciseMaxN = 4
+
+// Prior is the belief each fleet member starts from: link and buffer
+// known (the open question is competitor inference, not link inference),
+// competitor intensity and gate state unknown. The CrossFrac grid
+// brackets the fair-share point (N-1)/N. Fleets up to preciseMaxN model
+// at the full coexistence resolution; beyond it the model itself is
+// coarsened — cross traffic chunked so one modeled emission covers ~N/4
+// real competitor packets, the gate-toggle grid widened to 5 s, and the
+// buffer known to start empty — because every bit of per-hypothesis
+// resolution is paid for N times over. The coarseness is model mismatch
+// of exactly the kind the soft observation likelihood exists to absorb.
+func Prior(linkRate units.BitRate, bufferCapBits int64, n int) model.Prior {
+	if n < 2 {
+		n = 2
+	}
+	// The grid must bracket the fair-share point (N-1)/N = 1 - 1/N, so
+	// both bounds scale as 1 - c/N: capping hi at a constant would
+	// invert the range once 1-1.6/N exceeds it (N ≥ 81), collapsing
+	// the 4-point competitor grid to a single value below fair share.
+	// 1-0.4/N is always strictly below 1, so no cap is needed.
+	lo := 1 - 1.6/float64(n)
+	if lo < 0.1 {
+		lo = 0.1
+	}
+	hi := 1 - 0.4/float64(n)
+	pr := model.Prior{
+		LinkRate:       model.PriorRange{Lo: float64(linkRate), Hi: float64(linkRate), N: 1},
+		CrossFrac:      model.PriorRange{Lo: lo, Hi: hi, N: 4},
+		LossProb:       model.PriorRange{Lo: 0, Hi: 0, N: 1},
+		BufferCapBits:  model.PriorRange{Lo: float64(bufferCapBits), Hi: float64(bufferCapBits), N: 1},
+		FullnessSteps:  2,
+		MeanSwitch:     30 * time.Second,
+		PingerMaybeOff: true,
+		SwitchTick:     time.Second,
+	}
+	if n > preciseMaxN {
+		pr.FullnessSteps = 1
+		pr.SwitchTick = 5 * time.Second
+	}
+	if n > 8 {
+		pr.CrossPktBits = packet.DefaultSizeBits * int64(n/4)
+	}
+	return pr
+}
+
+// beliefDefaults is the fleet member belief configuration: soft
+// observation matching (the competitors are not the PINGER the model
+// assumes) in Relax mode (a surprise must not abort a 1000-sender run).
+// Small fleets keep the coexistence experiments' deep weight floor and
+// wide cap; larger fleets tighten both because they multiply every cost
+// by N.
+func beliefDefaults(cfg belief.Config, n int) belief.Config {
+	if cfg.SoftSigma <= 0 {
+		cfg.SoftSigma = 300 * time.Millisecond
+	}
+	if cfg.MinWeight <= 0 {
+		if n <= preciseMaxN {
+			cfg.MinWeight = 1e-9
+		} else {
+			cfg.MinWeight = 1e-5
+		}
+	}
+	if cfg.MaxHyps <= 0 {
+		if n <= preciseMaxN {
+			cfg.MaxHyps = 1 << 12
+		} else {
+			cfg.MaxHyps = 256
+		}
+	}
+	cfg.Relax = true
+	return cfg
+}
+
+// planDefaults is the fleet member planning configuration, scaled to the
+// fair-share rate: candidates up to two fair-share packet intervals out
+// on a coarse grid, and a horizon just past the shared buffer's drain
+// time. The horizon must clear the drain (a constant 8 s under the
+// default capacity scaling, 4 packets per sender at half a packet per
+// second each) or a queued packet's displacement cost falls outside
+// every rollout and the fleet overfills the buffer; it should not be
+// much longer, because a saturated hypothesis keeps candidate rollouts
+// alive to the full horizon — there is no idle instant for them to
+// reconverge with their baseline at — so planning cost is essentially
+// candidates × horizon, and a fleet pays it N times over.
+func planDefaults(cfg planner.Config, perSender units.BitRate, u utility.Config, n int) planner.Config {
+	fairInterval := units.TransmitTime(packet.DefaultSizeBits, perSender)
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * fairInterval
+	}
+	if cfg.Grid <= 0 {
+		if n <= preciseMaxN {
+			cfg.Grid = fairInterval / 10
+		} else {
+			cfg.Grid = fairInterval / 4
+		}
+	}
+	if cfg.Horizon <= 0 {
+		if n <= preciseMaxN {
+			cfg.Horizon = 40 * time.Second
+		} else {
+			cfg.Horizon = 12 * time.Second
+		}
+	}
+	if cfg.MaxHyps <= 0 {
+		if n <= preciseMaxN {
+			cfg.MaxHyps = 256
+		} else {
+			cfg.MaxHyps = 64
+		}
+	}
+	if cfg.Util == (utility.Config{}) {
+		cfg.Util = u
+	}
+	return cfg
+}
+
+// DefaultBeliefConfig returns the belief configuration a fleet of n
+// gives its members, for experiments that wire a member by hand (the
+// ISENDER-vs-TCP coexistence run) and must stay comparable with the
+// fleet-built ones.
+func DefaultBeliefConfig(n int) belief.Config {
+	return beliefDefaults(belief.Config{}, n)
+}
+
+// Fleet is N coexisting ISENDERs wired to one shared bottleneck on one
+// discrete-event loop. Build with New, drive with Run.
+type Fleet struct {
+	// Cfg is the resolved configuration.
+	Cfg Config
+	// Loop is the shared discrete-event loop.
+	Loop *sim.Loop
+	// Members are the senders, indexed by FlowID.
+	Members []*Member
+	// Buffer is the shared tail-drop bottleneck queue (nil when
+	// Cfg.FairQueue selected the DRR scheduler).
+	Buffer *elements.Buffer
+	// FQ is the DRR bottleneck queue (nil unless Cfg.FairQueue).
+	FQ *elements.FairQueue
+	// Link is the bottleneck's drain.
+	Link *elements.Throughput
+	// Recv acknowledges deliveries back to the members.
+	Recv *elements.Receiver
+	// Pool is the fleet-wide rollout pool every member plans and
+	// updates on.
+	Pool *rollout.Pool
+	// Cache is the fleet-wide policy cache (nil when disabled).
+	Cache *planner.PolicyCache
+
+	dirty, spare []*Member
+	drainArmed   bool
+	// drainTimer is the one reusable event behind the per-instant
+	// drain: arming it is allocation-free (sim.Loop.Reschedule), so
+	// the batched-ack hot path never schedules a fresh closure.
+	drainTimer *sim.Timer
+}
+
+// New builds a fleet. Nothing runs until Run (or the loop is driven
+// manually).
+func New(cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		Cfg:  cfg,
+		Loop: sim.New(cfg.Seed),
+		Pool: rollout.New(cfg.Workers),
+	}
+	f.drainTimer = sim.NewTimer(f.Loop, f.drain)
+	if !cfg.NoSharedCache {
+		f.Cache = planner.NewPolicyCache(cfg.CacheEntries)
+		// Coarse fingerprints: members in near-identical recurring
+		// situations share one computed decision. 50 ms buckets are
+		// well under the coarsest planning grid in use here.
+		f.Cache.TimeQuantum = 50 * time.Millisecond
+		f.Cache.WeightQuantum = 1e-3
+	}
+
+	f.Recv = elements.NewReceiver(f.Loop, func(a packet.Ack) {
+		f.Members[a.Flow].OnAck(a)
+	})
+	var q elements.Node
+	if cfg.FairQueue {
+		f.FQ = elements.NewFairQueue(cfg.BufferCapBits)
+		f.Link = elements.NewThroughput(f.Loop, cfg.LinkRate, f.Recv)
+		f.FQ.AttachDrain(f.Link)
+		q = f.FQ
+	} else {
+		f.Buffer, f.Link = elements.NewBottleneck(f.Loop, cfg.BufferCapBits, cfg.LinkRate, f.Recv)
+		q = f.Buffer
+	}
+
+	prior := Prior(cfg.LinkRate, cfg.BufferCapBits, cfg.N)
+	if cfg.PriorOverride != nil {
+		prior = *cfg.PriorOverride
+	}
+	states, _ := prior.Enumerate()
+
+	u := utility.Default()
+	u.Alpha = cfg.Alpha
+	bcfg := beliefDefaults(cfg.BeliefCfg, cfg.N)
+	bcfg.Pool = f.Pool
+	pcfg := planDefaults(cfg.Plan, cfg.PerSenderRate, u, cfg.N)
+	pcfg.Pool = f.Pool
+
+	f.Members = make([]*Member, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		b := belief.NewExact(states, bcfg)
+		s := core.NewSender(b, pcfg)
+		s.Cache = f.Cache
+		// A solo sender's 32-packet burst cap is harmless; in a fleet a
+		// sender whose posterior momentarily says "link free" would pour
+		// 32 packets into the shared buffer before its next re-decision,
+		// and N senders can do it at once. Tight bursts keep mistakes
+		// packet-sized.
+		s.MaxBurst = 4
+		m := NewMember(f.Loop, s, packet.FlowID(i), q)
+		m.notify = f.enqueue
+		f.Members[i] = m
+	}
+	return f
+}
+
+// Start schedules every member's first wakeup, staggered over
+// Cfg.Stagger. It is called by Run; call it directly only when driving
+// the loop manually.
+func (f *Fleet) Start() {
+	n := int64(len(f.Members))
+	for i, m := range f.Members {
+		m.Start(time.Duration(int64(f.Cfg.Stagger) * int64(i) / n))
+	}
+}
+
+// Run starts the members and drives the loop for the given virtual
+// duration.
+func (f *Fleet) Run(duration time.Duration) {
+	f.Start()
+	f.Loop.Run(duration)
+}
+
+// enqueue marks a member dirty and arms one drain event at the current
+// instant; all acknowledgments a member receives within the instant are
+// then folded into a single belief update at drain time.
+func (f *Fleet) enqueue(m *Member) {
+	if m.queued {
+		return
+	}
+	m.queued = true
+	f.dirty = append(f.dirty, m)
+	if !f.drainArmed {
+		f.drainArmed = true
+		f.drainTimer.ArmAt(f.Loop.Now())
+	}
+}
+
+// drain wakes the dirty members in arrival order (deterministic: the
+// loop is single-goroutine and same-instant events fire in scheduling
+// order). A wake may dirty further members at the same instant; they
+// are drained by a freshly armed event, still within the instant.
+func (f *Fleet) drain() {
+	f.drainArmed = false
+	batch := f.dirty
+	f.dirty = f.spare[:0]
+	for _, m := range batch {
+		m.queued = false
+		m.wake()
+	}
+	f.spare = batch[:0]
+}
+
+// Drops reports total bottleneck drops across all flows, iterating
+// members in index order (never a Go map) so callers stay
+// deterministic.
+func (f *Fleet) Drops() int {
+	total := 0
+	for i := range f.Members {
+		flow := packet.FlowID(i)
+		if f.Buffer != nil {
+			total += f.Buffer.Drops[flow]
+		}
+		if f.FQ != nil {
+			total += f.FQ.Drops[flow]
+		}
+	}
+	return total
+}
+
+// Delivered reports packets delivered to the receiver for one flow.
+func (f *Fleet) Delivered(flow packet.FlowID) int {
+	return f.Recv.Received[flow]
+}
+
+// CacheStats reports the shared policy cache's hit/miss counters (zeros
+// when the cache is disabled).
+func (f *Fleet) CacheStats() (hits, misses int) {
+	if f.Cache == nil {
+		return 0, 0
+	}
+	return f.Cache.Hits, f.Cache.Misses
+}
+
+// Member adapts one core.Sender to the shared loop: it injects the
+// sender's packets as DES packets, accumulates acknowledgments, and
+// keeps the sender's wake timer on the loop. It is the generalization
+// of the two-flow coexistence experiments' sender adapter; standalone
+// (no fleet) it wakes immediately on every acknowledgment, while under
+// a fleet the scheduler batches same-instant acknowledgments into one
+// wake.
+type Member struct {
+	// Flow is the member's flow, also its index in Fleet.Members.
+	Flow packet.FlowID
+	// Sender is the ISENDER endpoint.
+	Sender *core.Sender
+	// SentSeq and AckedSeq are the run series for this flow.
+	SentSeq, AckedSeq stats.Series
+	// Delay aggregates one-way packet delay in seconds per
+	// acknowledgment — O(1) space even across a long run.
+	Delay stats.Summary
+	// Utility accumulates Σ bits · exp(-delay/κ) over acknowledged
+	// packets: the realized delivery utility of the flow under the
+	// member's own discount timescale.
+	Utility float64
+
+	loop   *sim.Loop
+	out    elements.Node
+	timer  *sim.Timer
+	acks   []packet.Ack
+	notify func(*Member)
+	queued bool
+}
+
+// NewMember returns a standalone member (immediate wake per
+// acknowledgment) sending into out. Fleet members are built by New,
+// which routes acknowledgments through the batching scheduler instead.
+func NewMember(loop *sim.Loop, s *core.Sender, flow packet.FlowID, out elements.Node) *Member {
+	m := &Member{Flow: flow, Sender: s, loop: loop, out: out}
+	// Series are named by flow number, not FlowID.String(): fleet flows
+	// are dense indexes, and the well-known names ("cross", "other")
+	// would mislabel foreground members 1 and 2.
+	m.SentSeq.Name = fmt.Sprintf("flow%d sent", uint32(flow))
+	m.AckedSeq.Name = fmt.Sprintf("flow%d acked", uint32(flow))
+	m.timer = sim.NewTimer(loop, func() { m.wake() })
+	return m
+}
+
+// Start schedules the member's first wakeup after the given offset.
+func (m *Member) Start(offset time.Duration) {
+	m.loop.After(offset, m.wake)
+}
+
+// OnAck records an acknowledgment and requests a wake — immediate when
+// standalone, batched per instant under a fleet scheduler.
+func (m *Member) OnAck(a packet.Ack) {
+	m.AckedSeq.Add(m.loop.Now(), float64(a.Seq))
+	delay := a.Delay()
+	m.Delay.Add(delay.Seconds())
+	m.Utility += float64(packet.DefaultSizeBits) * m.Sender.Plan.Util.Discount(delay)
+	m.acks = append(m.acks, a)
+	if m.notify != nil {
+		m.notify(m)
+		return
+	}
+	m.wake()
+}
+
+func (m *Member) wake() {
+	now := m.loop.Now()
+	acks := m.acks
+	m.acks = m.acks[:0]
+	act := m.Sender.Wake(now, acks)
+	for _, snd := range act.Sends {
+		m.SentSeq.Add(now, float64(snd.Seq))
+		m.out.Receive(packet.Packet{
+			Flow:      m.Flow,
+			Seq:       snd.Seq,
+			SizeBytes: packet.DefaultSizeBytes,
+			SentAt:    now,
+		})
+	}
+	if act.WakeAt <= now {
+		act.WakeAt = now + 10*time.Millisecond
+	}
+	m.timer.ArmAt(act.WakeAt)
+}

@@ -55,6 +55,14 @@ type Params struct {
 	// PktBytes is the uniform packet size (§3.2); 0 means the 1500-byte
 	// default.
 	PktBytes int
+	// CrossPktBits is the modeled size of one cross-traffic emission; 0
+	// means one uniform packet (the paper's PINGER). The fleet
+	// experiments raise it so a sender modeling hundreds of competitors
+	// aggregates their traffic into coarse chunks at the same rate:
+	// hypothesis advance cost stays bounded as the competitor count
+	// grows, at the price of delivery-time quantization the soft
+	// observation likelihood absorbs.
+	CrossPktBits int64
 }
 
 // PktBits reports the uniform packet size in bits.
@@ -65,14 +73,22 @@ func (p Params) PktBits() int64 {
 	return units.BytesToBits(p.PktBytes)
 }
 
-// CrossInterval reports the PINGER emission interval, one packet's bits
-// at CrossRate. A non-positive CrossRate means no cross traffic; the
-// interval is then Forever.
+// CrossBits reports the size of one modeled cross-traffic emission.
+func (p Params) CrossBits() int64 {
+	if p.CrossPktBits > 0 {
+		return p.CrossPktBits
+	}
+	return p.PktBits()
+}
+
+// CrossInterval reports the PINGER emission interval, one cross
+// emission's bits at CrossRate. A non-positive CrossRate means no cross
+// traffic; the interval is then Forever.
 func (p Params) CrossInterval() time.Duration {
 	if p.CrossRate <= 0 {
 		return units.Forever
 	}
-	return units.TransmitTime(p.PktBits(), p.CrossRate)
+	return units.TransmitTime(p.CrossBits(), p.CrossRate)
 }
 
 // ServiceTime reports how long one packet occupies the bottleneck link.

@@ -55,6 +55,17 @@ type Prior struct {
 	// ClockSkew optionally ranges over receiver clock skew (§3.4
 	// extension); the zero range pins it to 0.
 	ClockSkew PriorRange
+	// CrossPktBits sets Params.CrossPktBits on every hypothesis: the
+	// modeled size of one cross-traffic emission (0 = one uniform
+	// packet). Fleet priors raise it so a sender modeling hundreds of
+	// competitors advances hypotheses in coarse aggregate chunks.
+	CrossPktBits int64
+	// SwitchTick sets the spacing of discretized gate-toggle
+	// opportunities on every hypothesis (0 = DefaultSwitchTick).
+	// Inference cost grows with the branches the toggle grid forks;
+	// fleet priors coarsen it because a fleet multiplies that cost by
+	// the sender count.
+	SwitchTick time.Duration
 }
 
 // Fig3Prior returns the paper's experiment prior (§4):
@@ -118,6 +129,7 @@ func (pr Prior) Enumerate() ([]State, float64) {
 								BufferCapBits: int64(capBits),
 								InitFullBits:  full,
 								ClockSkew:     skew,
+								CrossPktBits:  pr.CrossPktBits,
 							}
 							// All gate-start variants share one ParamsID:
 							// the gate state is dynamic, so branches that
@@ -125,6 +137,10 @@ func (pr Prior) Enumerate() ([]State, float64) {
 							for _, on := range gateStates {
 								s := Initial(params, on)
 								s.ParamsID = id
+								if pr.SwitchTick > 0 {
+									s.SwitchTick = pr.SwitchTick
+									s.NextToggle = pr.SwitchTick
+								}
 								states = append(states, s)
 							}
 							id++

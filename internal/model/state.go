@@ -127,12 +127,34 @@ type State struct {
 	// ServiceDone is the absolute time the in-service packet departs
 	// the link.
 	ServiceDone time.Duration
-	// Queue holds the waiting packets (head = next to serve); the
-	// in-service packet is not in Queue, matching elements.Buffer.
+	// Queue holds the waiting packets; the in-service packet is not in
+	// Queue, matching elements.Buffer. The live window is
+	// Queue[QHead:] (use Queued to read it): departures advance QHead
+	// instead of shifting the slice, so serving a long modeled queue —
+	// the steady state of a saturated fleet hypothesis — does not
+	// memmove the whole backlog per packet. Clones normalize QHead
+	// back to 0.
 	Queue []QPkt
-	// QueueBits caches the occupancy of Queue.
+	// QHead indexes the first waiting packet in Queue.
+	QHead int
+	// QueueBits caches the occupancy of the live window.
 	QueueBits int64
+
+	// svcBits/svcTime memoize the link serialization time of the most
+	// recent packet size (the hot loops alternate between at most two
+	// sizes, own packets and cross chunks, and TransmitTime's float
+	// division is measurable at fleet scale).
+	svcBits  [2]int64
+	svcTime  [2]time.Duration
+	crossIvl time.Duration
 }
+
+// Queued returns the waiting packets, head first. The slice aliases the
+// state; treat it as read-only.
+func (s *State) Queued() []QPkt { return s.Queue[s.QHead:] }
+
+// QLen reports the number of waiting packets.
+func (s *State) QLen() int { return len(s.Queue) - s.QHead }
 
 // DefaultSwitchTick is the default spacing of discretized pinger switch
 // opportunities used by inference. With the paper's 100 s mean switch
@@ -158,20 +180,23 @@ func Initial(p Params, pingerOn bool) State {
 	return s
 }
 
-// Clone returns an independent copy of the state.
+// Clone returns an independent copy of the state (QHead normalized to
+// zero).
 func (s *State) Clone() State {
 	c := *s
-	c.Queue = append([]QPkt(nil), s.Queue...)
+	c.Queue = append([]QPkt(nil), s.Queue[s.QHead:]...)
+	c.QHead = 0
 	return c
 }
 
-// CloneInto copies s into dst, reusing dst's Queue capacity. It is the
-// allocation-free Clone used by the rollout engine's scratch states; dst
-// must not alias s.
+// CloneInto copies s into dst, reusing dst's Queue capacity (QHead
+// normalized to zero). It is the allocation-free Clone used by the
+// rollout engine's scratch states; dst must not alias s.
 func (s *State) CloneInto(dst *State) {
 	q := dst.Queue[:0]
 	*dst = *s
-	dst.Queue = append(q, s.Queue...)
+	dst.Queue = append(q, s.Queue[s.QHead:]...)
+	dst.QHead = 0
 }
 
 // EqualDynamic reports whether two states at the same instant have
@@ -181,14 +206,15 @@ func (s *State) CloneInto(dst *State) {
 // identical futures, which is what lets planner rollouts stop early once
 // a candidate reconverges with its baseline.
 func (s *State) EqualDynamic(o *State) bool {
-	if s.Serving != o.Serving || s.QueueBits != o.QueueBits || len(s.Queue) != len(o.Queue) {
+	if s.Serving != o.Serving || s.QueueBits != o.QueueBits || s.QLen() != o.QLen() {
 		return false
 	}
 	if s.Serving && (s.InService != o.InService || s.ServiceDone != o.ServiceDone) {
 		return false
 	}
-	for i := range s.Queue {
-		if s.Queue[i] != o.Queue[i] {
+	sq, oq := s.Queued(), o.Queued()
+	for i := range sq {
+		if sq[i] != oq[i] {
 			return false
 		}
 	}
@@ -202,7 +228,7 @@ func (s *State) InFlightOwn() int {
 	if s.Serving && s.InService.Own {
 		n++
 	}
-	for _, q := range s.Queue {
+	for _, q := range s.Queued() {
 		if q.Own {
 			n++
 		}
@@ -244,10 +270,26 @@ func (s *State) enqueue(q QPkt, out *[]Event) {
 	s.QueueBits += q.Bits
 }
 
+// serviceTime memoizes TransmitTime over the (at most two) packet sizes
+// a hypothesis serves — own packets and cross chunks — because the
+// float division is measurable in fleet-scale rollouts.
+func (s *State) serviceTime(bits int64) time.Duration {
+	if s.svcBits[0] == bits {
+		return s.svcTime[0]
+	}
+	if s.svcBits[1] == bits {
+		return s.svcTime[1]
+	}
+	d := units.TransmitTime(bits, s.P.LinkRate)
+	s.svcBits[1], s.svcTime[1] = s.svcBits[0], s.svcTime[0]
+	s.svcBits[0], s.svcTime[0] = bits, d
+	return d
+}
+
 func (s *State) startService(q QPkt) {
 	s.Serving = true
 	s.InService = q
-	s.ServiceDone = s.Now + units.TransmitTime(q.Bits, s.P.LinkRate)
+	s.ServiceDone = s.Now + s.serviceTime(q.Bits)
 }
 
 // departHead completes the in-service packet: it leaves the link, passes
@@ -270,12 +312,19 @@ func (s *State) departHead(out *[]Event) {
 			Delay: s.Now - q.EnqueuedAt,
 		})
 	}
-	if len(s.Queue) > 0 {
-		head := s.Queue[0]
-		copy(s.Queue, s.Queue[1:])
-		s.Queue = s.Queue[:len(s.Queue)-1]
+	if s.QHead < len(s.Queue) {
+		head := s.Queue[s.QHead]
+		s.QHead++
 		s.QueueBits -= head.Bits
 		s.startService(head)
+		// Compact once the dead prefix dominates, so appends do not
+		// grow the array without bound while keeping departures O(1)
+		// amortized.
+		if s.QHead >= 32 && 2*s.QHead >= len(s.Queue) {
+			n := copy(s.Queue, s.Queue[s.QHead:])
+			s.Queue = s.Queue[:n]
+			s.QHead = 0
+		}
 	}
 }
 
@@ -294,6 +343,9 @@ func (s *State) receiverClock(t time.Duration) time.Duration {
 // in (s.Now-ε, until]; a send in the past panics. Events are appended to
 // out.
 func (s *State) Run(until time.Duration, sends []Send, out *[]Event) {
+	if s.crossIvl == 0 {
+		s.crossIvl = s.P.CrossInterval()
+	}
 	si := 0
 	for {
 		// Next event among: service completion, cross emission, send.
@@ -316,9 +368,9 @@ func (s *State) Run(until time.Duration, sends []Send, out *[]Event) {
 			s.departHead(out)
 		case 1:
 			s.Now = s.NextCross
-			s.NextCross += s.P.CrossInterval()
+			s.NextCross += s.crossIvl
 			if s.PingerOn {
-				s.enqueue(QPkt{Own: false, Seq: -1, Bits: s.P.PktBits()}, out)
+				s.enqueue(QPkt{Own: false, Seq: -1, Bits: s.P.CrossBits()}, out)
 			}
 		case 2:
 			snd := sends[si]
@@ -346,7 +398,7 @@ func (s *State) Toggle() { s.PingerOn = !s.PingerOn }
 // states with equal keys are behaviorally identical forever and may be
 // merged, summing their weights (§3.2 "compacted back into one state").
 func (s *State) Key() string {
-	buf := make([]byte, 0, 64+12*len(s.Queue))
+	buf := make([]byte, 0, 64+12*s.QLen())
 	var b [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(b[:], v)
@@ -374,7 +426,7 @@ func (s *State) Key() string {
 	} else {
 		buf = append(buf, 0)
 	}
-	for _, q := range s.Queue {
+	for _, q := range s.Queued() {
 		put(uint64(q.Seq))
 		put(uint64(q.Bits))
 		if q.Own {
@@ -427,7 +479,7 @@ func (s *State) Hash64() uint64 {
 		h = fnvU64(h, uint64(s.InService.Bits))
 		h = fnvBool(h, s.InService.Own)
 	}
-	for _, q := range s.Queue {
+	for _, q := range s.Queued() {
 		h = fnvU64(h, uint64(q.Seq))
 		h = fnvU64(h, uint64(q.Bits))
 		h = fnvBool(h, q.Own)

@@ -19,8 +19,10 @@ const DefaultSizeBytes = 1500
 const DefaultSizeBits = DefaultSizeBytes * 8
 
 // FlowID identifies the originating flow of a packet. The experiments use
-// a small number of well-known flows.
-type FlowID uint8
+// a small number of well-known flows; the fleet experiments
+// (internal/fleet) assign one FlowID per sender, so the type is wide
+// enough for thousands of concurrent flows in one process.
+type FlowID uint32
 
 // Well-known flows used by the experiments.
 const (
@@ -44,7 +46,7 @@ func (f FlowID) String() string {
 	case FlowOther:
 		return "other"
 	default:
-		return fmt.Sprintf("flow(%d)", uint8(f))
+		return fmt.Sprintf("flow(%d)", uint32(f))
 	}
 }
 

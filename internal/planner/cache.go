@@ -17,8 +17,13 @@ import (
 // recurring situations of steady state (empty queue, link idle, same
 // posterior) hit the cache even though wall-clock time differs.
 //
-// Weights are quantized to 1e-6 in the fingerprint; two beliefs that
-// differ by less plan identically for all practical purposes.
+// Weights are quantized to WeightQuantum (default 1e-6) in the
+// fingerprint; two beliefs that differ by less plan identically for all
+// practical purposes. TimeQuantum optionally buckets the rebased times
+// the same way: a fleet of senders (internal/fleet) coarsens both so
+// that members in recurring near-identical situations — same posterior
+// shape, same queue, phases within a few tens of milliseconds — share
+// one computed decision instead of each paying for its own.
 type PolicyCache struct {
 	entries map[uint64]cachedDecision
 	// Hits and Misses count lookups, for the ablation benchmark.
@@ -26,6 +31,15 @@ type PolicyCache struct {
 	// MaxEntries bounds memory; the cache resets when full (decisions
 	// are cheap to recompute relative to tracking LRU order).
 	MaxEntries int
+	// TimeQuantum, when positive, buckets every rebased duration in
+	// the fingerprint. Coarser buckets raise the hit rate at the price
+	// of reusing a decision whose phase is off by up to one bucket;
+	// the sender re-decides at every wake, so the error does not
+	// accumulate. Zero fingerprints times exactly.
+	TimeQuantum time.Duration
+	// WeightQuantum, when positive, buckets hypothesis weights
+	// (default 1e-6).
+	WeightQuantum float64
 }
 
 type cachedDecision struct {
@@ -46,7 +60,11 @@ func NewPolicyCache(maxEntries int) *PolicyCache {
 // Decide is a caching wrapper around Decide: on a fingerprint hit it
 // returns the memoized action rebased to `now`.
 func (pc *PolicyCache) Decide(sup []belief.Hypothesis, pending []model.Send, now time.Duration, seq int64, cfg Config) Decision {
-	fp := fingerprint(sup, pending, now)
+	wq := pc.WeightQuantum
+	if wq <= 0 {
+		wq = 1e-6
+	}
+	fp := fingerprint(sup, pending, now, pc.TimeQuantum, wq)
 	if d, ok := pc.entries[fp]; ok {
 		pc.Hits++
 		return Decision{
@@ -67,9 +85,10 @@ func (pc *PolicyCache) Decide(sup []belief.Hypothesis, pending []model.Send, now
 }
 
 // fingerprint hashes the support and pending sends with all times
-// rebased to now. Sequence numbers are deliberately excluded: the policy
-// depends on the network posterior, not on which packet is next.
-func fingerprint(sup []belief.Hypothesis, pending []model.Send, now time.Duration) uint64 {
+// rebased to now, times bucketed by tq (0 = exact) and weights by wq.
+// Sequence numbers are deliberately excluded: the policy depends on the
+// network posterior, not on which packet is next.
+func fingerprint(sup []belief.Hypothesis, pending []model.Send, now time.Duration, tq time.Duration, wq float64) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
 	putU := func(v uint64) {
@@ -87,13 +106,23 @@ func fingerprint(sup []belief.Hypothesis, pending []model.Send, now time.Duratio
 		if d < -farFuture {
 			d = -farFuture
 		}
+		if tq > 0 {
+			// Floor division, not truncation: truncating toward zero
+			// would make the bucket straddling zero twice as wide as
+			// every other.
+			r := d % tq
+			if r < 0 {
+				r += tq
+			}
+			d -= r
+		}
 		putU(uint64(int64(d)))
 	}
 	putU(uint64(len(sup)))
 	for _, hyp := range sup {
 		s := &hyp.S
 		putU(uint64(s.ParamsID))
-		putU(uint64(int64(hyp.W * 1e6)))
+		putU(uint64(int64(hyp.W / wq)))
 		if s.PingerOn {
 			putU(1)
 		} else {
@@ -119,8 +148,8 @@ func fingerprint(sup []belief.Hypothesis, pending []model.Send, now time.Duratio
 		} else {
 			putU(0)
 		}
-		putU(uint64(len(s.Queue)))
-		for _, q := range s.Queue {
+		putU(uint64(s.QLen()))
+		for _, q := range s.Queued() {
 			putU(uint64(q.Bits))
 			if q.Own {
 				putU(1)

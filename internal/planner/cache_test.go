@@ -71,27 +71,27 @@ func TestPolicyCacheHitRebasesWakeAt(t *testing.T) {
 func TestPolicyCacheFingerprintTranslationInvariance(t *testing.T) {
 	s1 := cacheSupport(10 * time.Second)
 	s2 := cacheSupport(173 * time.Second)
-	if fingerprint(s1, nil, 10*time.Second) != fingerprint(s2, nil, 173*time.Second) {
+	if fingerprint(s1, nil, 10*time.Second, 0, 1e-6) != fingerprint(s2, nil, 173*time.Second, 0, 1e-6) {
 		t.Error("translated situation fingerprints differ")
 	}
 
 	// Perturb the queue: fingerprint must change.
 	s3 := cacheSupport(10 * time.Second)
 	s3[0].S.Queue = append(s3[0].S.Queue, model.QPkt{Seq: -1, Bits: 12000})
-	if fingerprint(s1, nil, 10*time.Second) == fingerprint(s3, nil, 10*time.Second) {
+	if fingerprint(s1, nil, 10*time.Second, 0, 1e-6) == fingerprint(s3, nil, 10*time.Second, 0, 1e-6) {
 		t.Error("different queue contents share a fingerprint")
 	}
 
 	// Perturb the posterior weights beyond the 1e-6 quantum.
 	s4 := cacheSupport(10 * time.Second)
 	s4[0].W, s4[1].W = 0.5, 0.5
-	if fingerprint(s1, nil, 10*time.Second) == fingerprint(s4, nil, 10*time.Second) {
+	if fingerprint(s1, nil, 10*time.Second, 0, 1e-6) == fingerprint(s4, nil, 10*time.Second, 0, 1e-6) {
 		t.Error("different weights share a fingerprint")
 	}
 
 	// Pending sends are part of the situation.
 	pend := []model.Send{{Seq: 7, At: 10 * time.Second}}
-	if fingerprint(s1, pend, 10*time.Second) == fingerprint(s1, nil, 10*time.Second) {
+	if fingerprint(s1, pend, 10*time.Second, 0, 1e-6) == fingerprint(s1, nil, 10*time.Second, 0, 1e-6) {
 		t.Error("pending send does not affect the fingerprint")
 	}
 }

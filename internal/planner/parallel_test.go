@@ -75,7 +75,17 @@ func TestDecideMatchesFullRollout(t *testing.T) {
 		st.Run(horizonEnd, nil, &evs)
 		base[i] = cfg.Util.OfPredicted(evs, now, st.P.LossProb)
 	}
-	bestDelta, bestGain := 0, -1e308
+	// The oracle must break ties exactly as Decide does — the same
+	// packet-utility-scaled band, the same later-wins rule — or the
+	// cross-check compares two different decision rules whenever a
+	// gain lands inside one band but not the other.
+	var tieEps float64
+	for i := range sup {
+		if b := 1e-6 * float64(sup[i].S.P.PktBits()); b > tieEps {
+			tieEps = b
+		}
+	}
+	bestDelta, maxGain, bestGain := 0, -1e308, -1e308
 	for k := 0; time.Duration(k)*cfg.Grid <= cfg.MaxDelay; k++ {
 		sendAt := now + time.Duration(k)*cfg.Grid
 		var gain float64
@@ -85,11 +95,12 @@ func TestDecideMatchesFullRollout(t *testing.T) {
 			st.Run(horizonEnd, []model.Send{{Seq: seq, At: sendAt}}, &evs)
 			gain += h.W * (cfg.Util.OfPredicted(evs, now, st.P.LossProb) - base[i])
 		}
-		if gain >= bestGain-1e-3 {
-			if gain > bestGain {
-				bestGain = gain
-			}
+		if gain > maxGain {
+			maxGain = gain
+		}
+		if gain >= maxGain-tieEps {
 			bestDelta = k
+			bestGain = gain
 		}
 	}
 

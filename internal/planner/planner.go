@@ -61,6 +61,13 @@ type Config struct {
 	// bit-identical for every worker count — per-hypothesis results are
 	// written into per-index slots and reduced in index order.
 	Workers int
+	// Pool, when non-nil, supplies the worker pool instead of Decide
+	// checking one out of the per-width cache. A fleet of senders
+	// (internal/fleet) plans every member on the same pool so one set of
+	// scratch arenas serves the whole fleet. The pool must not be used
+	// from multiple goroutines at once. The decision is bit-identical
+	// for any pool width.
+	Pool *rollout.Pool
 }
 
 // DefaultConfig returns the planning parameters used by the experiments.
@@ -162,7 +169,11 @@ func Decide(sup []belief.Hypothesis, pending []model.Send, now time.Duration, se
 	// now. Per-index slots keep the parallel fill deterministic.
 	gains := make([]float64, len(hyps)*candidates)
 
-	pool, release := acquirePool(cfg.Workers)
+	pool := cfg.Pool
+	release := func() {}
+	if pool == nil {
+		pool, release = acquirePool(cfg.Workers)
+	}
 	pool.Run(len(hyps), func(s *rollout.Scratch, i int) {
 		h := &hyps[i]
 		p := h.S.P.LossProb

@@ -1,0 +1,76 @@
+package stats
+
+// Jain's fairness index and streaming per-flow aggregation, used by the
+// multi-flow fairness sweeps (internal/experiments.FairnessSweep): with
+// hundreds of senders in one process, per-flow metrics must accumulate
+// in O(1) space instead of retaining every sample.
+
+// JainIndex returns Jain's fairness index over the per-flow allocations:
+// (Σx)² / (n·Σx²). It is 1 when every flow receives the same allocation
+// and approaches 1/n when one flow takes everything. An empty or
+// all-zero allocation reports 1 (nothing is being shared unfairly).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Summary is a streaming aggregate of a sample stream: count, sum, min,
+// max. The zero value is an empty summary. Unlike Series it retains no
+// samples, so a fleet of thousands of flows can keep one per flow.
+type Summary struct {
+	// N is the number of samples.
+	N int64
+	// Sum is the total of the samples.
+	Sum float64
+	// MinV and MaxV are the extreme samples (zero when N == 0).
+	MinV, MaxV float64
+}
+
+// Add accumulates one sample.
+func (s *Summary) Add(v float64) {
+	if s.N == 0 || v < s.MinV {
+		s.MinV = v
+	}
+	if s.N == 0 || v > s.MaxV {
+		s.MaxV = v
+	}
+	s.N++
+	s.Sum += v
+}
+
+// Mean returns the arithmetic mean; 0 when empty.
+func (s *Summary) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Merge folds another summary into this one.
+func (s *Summary) Merge(o Summary) {
+	if o.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		*s = o
+		return
+	}
+	if o.MinV < s.MinV {
+		s.MinV = o.MinV
+	}
+	if o.MaxV > s.MaxV {
+		s.MaxV = o.MaxV
+	}
+	s.N += o.N
+	s.Sum += o.Sum
+}

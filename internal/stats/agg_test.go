@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 1},
+		{"all zero", []float64{0, 0, 0}, 1},
+		{"even", []float64{2, 2, 2, 2}, 1},
+		{"one hog of four", []float64{1, 0, 0, 0}, 0.25},
+		{"two flows 1:3", []float64{1, 3}, 0.8},
+	}
+	for _, c := range cases {
+		if got := JainIndex(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: JainIndex = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Scale invariance: multiplying every allocation by a constant
+	// must not change the index.
+	a := []float64{0.5, 1.5, 2, 4}
+	scaled := make([]float64, len(a))
+	for i, v := range a {
+		scaled[i] = 1000 * v
+	}
+	if math.Abs(JainIndex(a)-JainIndex(scaled)) > 1e-12 {
+		t.Error("JainIndex not scale invariant")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 {
+		t.Error("empty summary mean != 0")
+	}
+	for _, v := range []float64{3, -1, 4, 1, 5} {
+		s.Add(v)
+	}
+	if s.N != 5 || s.MinV != -1 || s.MaxV != 5 {
+		t.Errorf("summary %+v wrong", s)
+	}
+	if math.Abs(s.Mean()-2.4) > 1e-12 {
+		t.Errorf("mean = %v, want 2.4", s.Mean())
+	}
+
+	var a, b Summary
+	a.Add(1)
+	a.Add(2)
+	b.Add(10)
+	a.Merge(b)
+	if a.N != 3 || a.MaxV != 10 || a.MinV != 1 || a.Sum != 13 {
+		t.Errorf("merged summary %+v wrong", a)
+	}
+	var empty Summary
+	a.Merge(empty)
+	if a.N != 3 {
+		t.Error("merging an empty summary changed the count")
+	}
+	empty.Merge(a)
+	if empty.N != 3 || empty.MinV != 1 {
+		t.Error("merge into empty did not adopt the source")
+	}
+}

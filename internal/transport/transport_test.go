@@ -121,7 +121,7 @@ func TestLoopbackThroughProxy(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("sent=%d acked=%d meanOWD=%v proxyFwd=%d proxyDrop=%d",
-		stats.Sent, stats.Acked, stats.MeanOWD, proxy.Forwarded, proxy.Dropped)
+		stats.Sent, stats.Acked, stats.MeanOWD, proxy.Forwarded(), proxy.Dropped())
 	if stats.Acked == 0 {
 		t.Fatal("no acknowledgments through the emulated link")
 	}
