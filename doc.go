@@ -46,6 +46,27 @@
 // cmd/fleetsim drives sweeps from the command line. Fleet runs are
 // bit-identical for any Workers width, like everything else here.
 //
+// # Failure model
+//
+// The runtime degrades instead of panicking. internal/chaos supplies a
+// seeded, replayable fault schedule — ack-loss bursts, reordering,
+// duplication, byte corruption, multi-second blackouts, proxy stalls,
+// clock jumps — that plugs into both the real-socket path
+// (emu.ProxyConfig.Chaos / AckChaos) and the DES path (chaos.Element,
+// experiments.RunChaos), so one fault trace replays bit-identically in
+// either world. Against it: internal/wire returns typed errors for any
+// malformed datagram (fuzzed, corpus checked in); internal/transport
+// polls with read deadlines, retries with capped backoff, clamps
+// non-monotone clocks, and arms wake timers in the logical clock
+// domain; internal/belief recovers from likelihood collapse by
+// deterministically re-seeding from the prior (belief.Config.Recover);
+// and internal/planner bounds every decision with planner.Guard's
+// degradation ladder — live Decide within the budget, else the
+// quantized PolicyCache entry, else the last safe action, else sleep
+// one grid step. cmd/soak runs the whole stack through the standard
+// fault menu and records the invariants in BENCH_3.json; see README.md
+// ("Failure model").
+//
 // # Benchmark tracking
 //
 // Run the full suite with

@@ -53,6 +53,9 @@ type UpdateStats struct {
 	// Config.Relax kept the unconditioned posterior instead of
 	// panicking.
 	Relaxed int
+	// Reseeded counts likelihood collapses Config.Recover repaired by
+	// re-seeding the belief from its prior.
+	Reseeded int
 	// N is the number of hypotheses after the update.
 	N int
 }
@@ -106,6 +109,17 @@ type Config struct {
 	// the model-mismatch experiments; the default panic is the right
 	// behaviour when the prior is supposed to contain the truth.
 	Relax bool
+	// Recover, when true, detects likelihood collapse — an observation
+	// impossible under every surviving hypothesis, as corruption, a
+	// link blackout, or model divergence produce — and recovers
+	// deterministically by re-seeding the belief from its initial
+	// prior, rebased to the collapse instant with uniform weights
+	// (counted in UpdateStats.Reseeded). Unlike Relax, which freezes a
+	// posterior that just proved itself wrong, Recover restarts
+	// inference from scratch: the right behaviour on a chaotic path
+	// where the world really did change out from under the model.
+	// Recover takes precedence over Relax.
+	Recover bool
 	// Workers shards the per-hypothesis advances of an update across a
 	// worker pool: 0 means GOMAXPROCS, 1 forces the serial path. The
 	// posterior is bit-identical for every worker count: each advance

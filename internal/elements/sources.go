@@ -26,6 +26,8 @@ type Pinger struct {
 // NewPinger returns a stopped Pinger; call Start to begin emission.
 func NewPinger(loop *sim.Loop, rate units.BitRate, sizeBytes int, flow packet.FlowID, next Node) *Pinger {
 	if sizeBytes <= 0 {
+		// Invariant: construction-time misuse, unreachable from network
+		// input.
 		panic("elements: pinger packet size must be positive")
 	}
 	return &Pinger{loop: loop, rate: rate, sizeBytes: sizeBytes, flow: flow, next: next}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"modelcc/internal/chaos"
 	"modelcc/internal/trace"
 	"modelcc/internal/units"
 )
@@ -27,6 +28,17 @@ type ProxyConfig struct {
 	LossProb float64
 	// Seed drives the loss process.
 	Seed int64
+	// Chaos, when non-nil and enabled, injects a deterministic fault
+	// schedule into both directions: the forward path draws from the
+	// config's seed, the return (ack) path from Sub("ack"), and both
+	// share the same absolute blackout and stall windows — one outage
+	// severs the whole link, as real outages do.
+	Chaos *chaos.Config
+	// AckChaos, when non-nil and enabled, replaces the derived return-path
+	// schedule: acks draw from this config instead of Chaos.Sub("ack").
+	// This is how an asymmetric menu (e.g. heavy ack-loss bursts over a
+	// clean-ish forward path) is expressed.
+	AckChaos *chaos.Config
 }
 
 // Proxy is a mahimahi-style UDP link emulator: datagrams arriving on
@@ -35,16 +47,31 @@ type ProxyConfig struct {
 // datagrams from the target return to the most recent client directly.
 // One Proxy emulates one direction of one link, which matches the
 // paper's model of a lossless, instant return path (§3.4).
+//
+// Close is idempotent and may be called concurrently with Run (or
+// without ever calling Run); Run returns nil promptly after Close or
+// context cancellation, with every goroutine it started joined.
 type Proxy struct {
 	cfg      ProxyConfig
 	listen   *net.UDPConn
 	upstream *net.UDPConn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	// delivWG tracks in-flight delayed deliveries (propagation delay,
+	// chaos reordering) so Run's shutdown joins them too.
+	delivWG sync.WaitGroup
 
 	mu       sync.Mutex
 	client   *net.UDPAddr
 	q        []queued
 	usedBits int64
 	rng      *rand.Rand
+
+	// fwdInj/ackInj inject the chaos schedule; each is owned by exactly
+	// one goroutine (scheduler / returnPath). Read their stats only
+	// after Run returns.
+	fwdInj, ackInj *chaos.Injector
 
 	// forwarded, dropped, lost count packets through the emulated
 	// link. They are written from the proxy's goroutines (including
@@ -61,6 +88,19 @@ func (p *Proxy) Dropped() int64 { return p.dropped.Load() }
 
 // Lost reports packets dropped by the emulated LOSS element.
 func (p *Proxy) Lost() int64 { return p.lost.Load() }
+
+// ChaosStats reports the fault injectors' tallies for the forward and
+// return paths. Only valid after Run has returned; zero-valued when the
+// proxy runs without chaos.
+func (p *Proxy) ChaosStats() (fwd, ack chaos.Stats) {
+	if p.fwdInj != nil {
+		fwd = p.fwdInj.Stats
+	}
+	if p.ackInj != nil {
+		ack = p.ackInj.Stats
+	}
+	return fwd, ack
+}
 
 type queued struct {
 	payload []byte
@@ -93,36 +133,70 @@ func NewProxy(listenAddr, targetAddr string, cfg ProxyConfig) (*Proxy, error) {
 	if cfg.QueueBits <= 0 {
 		cfg.QueueBits = units.BytesToBits(1 << 20)
 	}
-	return &Proxy{
+	p := &Proxy{
 		cfg:      cfg,
 		listen:   lc,
 		upstream: uc,
+		closed:   make(chan struct{}),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
+	if cfg.Chaos != nil && cfg.Chaos.Enabled() {
+		p.fwdInj = chaos.New(*cfg.Chaos)
+		p.ackInj = chaos.New(cfg.Chaos.Sub("ack"))
+	}
+	if cfg.AckChaos != nil && cfg.AckChaos.Enabled() {
+		p.ackInj = chaos.New(*cfg.AckChaos)
+	}
+	return p, nil
 }
 
 // Addr reports the client-facing address (useful with ":0" listeners).
 func (p *Proxy) Addr() *net.UDPAddr { return p.listen.LocalAddr().(*net.UDPAddr) }
 
-// Close releases both sockets.
+// Close releases both sockets and unblocks Run. Safe to call any number
+// of times, from any goroutine.
 func (p *Proxy) Close() {
-	p.listen.Close()
-	p.upstream.Close()
+	p.closeOnce.Do(func() {
+		close(p.closed)
+		p.listen.Close()
+		p.upstream.Close()
+	})
 }
 
-// Run operates the proxy until ctx is cancelled.
+// Run operates the proxy until ctx is cancelled or Close is called. It
+// returns nil in both cases, after joining every goroutine it started
+// (including in-flight delayed deliveries).
 func (p *Proxy) Run(ctx context.Context) error {
 	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(3)
 	go func() { defer wg.Done(); p.clientReader(ctx) }()
 	go func() { defer wg.Done(); p.scheduler(ctx, start) }()
-	go func() { defer wg.Done(); p.returnPath(ctx) }()
-	<-ctx.Done()
+	go func() { defer wg.Done(); p.returnPath(ctx, start) }()
+	select {
+	case <-ctx.Done():
+	case <-p.closed:
+	}
+	// Closed sockets already error their readers out; expired deadlines
+	// cover the cancellation-without-Close case.
 	p.listen.SetReadDeadline(time.Now())
 	p.upstream.SetReadDeadline(time.Now())
 	wg.Wait()
+	p.delivWG.Wait()
 	return nil
+}
+
+// done reports whether the proxy should stop (context or Close).
+func (p *Proxy) done(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	select {
+	case <-p.closed:
+		return true
+	default:
+		return false
+	}
 }
 
 // clientReader enqueues client datagrams onto the emulated link.
@@ -131,14 +205,11 @@ func (p *Proxy) clientReader(ctx context.Context) {
 	for {
 		n, addr, err := p.listen.ReadFromUDP(buf)
 		if err != nil {
-			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+			if p.done(ctx) || errors.Is(err, net.ErrClosed) {
 				return
 			}
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
-				if ctx.Err() != nil {
-					return
-				}
 				continue
 			}
 			return
@@ -157,10 +228,11 @@ func (p *Proxy) clientReader(ctx context.Context) {
 	}
 }
 
-// scheduler releases one queued datagram per trace opportunity.
+// scheduler releases one queued datagram per trace opportunity, runs it
+// through the forward-path fault injector, and delivers it upstream.
 func (p *Proxy) scheduler(ctx context.Context, start time.Time) {
 	for {
-		if ctx.Err() != nil {
+		if p.done(ctx) {
 			return
 		}
 		elapsed := time.Since(start)
@@ -170,6 +242,8 @@ func (p *Proxy) scheduler(ctx context.Context, start time.Time) {
 		}
 		select {
 		case <-ctx.Done():
+			return
+		case <-p.closed:
 			return
 		case <-time.After(at - elapsed):
 		}
@@ -187,34 +261,86 @@ func (p *Proxy) scheduler(ctx context.Context, start time.Time) {
 			p.lost.Add(1)
 			continue
 		}
-		deliver := func() {
-			if _, err := p.upstream.Write(item.payload); err == nil {
-				p.forwarded.Add(1)
+		delay := p.cfg.Delay
+		if p.fwdInj != nil {
+			nowD := time.Since(start)
+			if stall, ok := p.fwdInj.StallUntil(nowD); ok {
+				// A stalled proxy process: nothing moves, then everything
+				// resumes (the queue keeps absorbing meanwhile).
+				if !p.sleep(ctx, stall) {
+					return
+				}
+			}
+			v := p.fwdInj.Next(time.Since(start))
+			if v.Drop {
+				continue
+			}
+			if v.Corrupt {
+				v.ApplyCorrupt(item.payload)
+			}
+			delay += v.Delay
+			if v.Duplicate {
+				p.deliverUpstream(item.payload, delay)
 			}
 		}
-		if p.cfg.Delay > 0 {
-			time.AfterFunc(p.cfg.Delay, deliver)
-		} else {
-			deliver()
-		}
+		p.deliverUpstream(item.payload, delay)
 	}
 }
 
-// returnPath relays target responses straight back to the client — the
-// paper's lossless, instant acknowledgment path.
-func (p *Proxy) returnPath(ctx context.Context) {
+// deliverUpstream writes one datagram toward the target, after delay.
+// Delayed writes are tracked so shutdown joins them; the payload is not
+// copied — each queued item is delivered at most twice and corruption is
+// applied before scheduling.
+func (p *Proxy) deliverUpstream(payload []byte, delay time.Duration) {
+	deliver := func() {
+		if _, err := p.upstream.Write(payload); err == nil {
+			p.forwarded.Add(1)
+		}
+	}
+	if delay <= 0 {
+		deliver()
+		return
+	}
+	p.delivWG.Add(1)
+	time.AfterFunc(delay, func() {
+		defer p.delivWG.Done()
+		select {
+		case <-p.closed:
+		default:
+			deliver()
+		}
+	})
+}
+
+// sleep pauses for d or until shutdown; it reports whether the full
+// pause elapsed.
+func (p *Proxy) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-p.closed:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// returnPath relays target responses back to the client — the paper's
+// lossless, instant acknowledgment path, unless the chaos config says
+// otherwise (ack loss is precisely the fault the ISENDER's inference
+// must survive).
+func (p *Proxy) returnPath(ctx context.Context, start time.Time) {
 	buf := make([]byte, 64*1024)
 	for {
 		n, err := p.upstream.Read(buf)
 		if err != nil {
-			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+			if p.done(ctx) || errors.Is(err, net.ErrClosed) {
 				return
 			}
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
-				if ctx.Err() != nil {
-					return
-				}
 				continue
 			}
 			return
@@ -225,6 +351,41 @@ func (p *Proxy) returnPath(ctx context.Context) {
 		if client == nil {
 			continue
 		}
-		p.listen.WriteToUDP(buf[:n], client)
+		var delay time.Duration
+		if p.ackInj != nil {
+			v := p.ackInj.Next(time.Since(start))
+			if v.Drop {
+				continue
+			}
+			if v.Corrupt {
+				v.ApplyCorrupt(buf[:n])
+			}
+			delay = v.Delay
+			if v.Duplicate {
+				p.deliverClient(client, buf[:n], delay, true)
+			}
+		}
+		p.deliverClient(client, buf[:n], delay, delay > 0)
 	}
+}
+
+// deliverClient writes one datagram back to the client after delay,
+// copying the payload when it must outlive the caller's buffer.
+func (p *Proxy) deliverClient(client *net.UDPAddr, payload []byte, delay time.Duration, copyPayload bool) {
+	if copyPayload {
+		payload = append([]byte(nil), payload...)
+	}
+	if delay <= 0 {
+		p.listen.WriteToUDP(payload, client)
+		return
+	}
+	p.delivWG.Add(1)
+	time.AfterFunc(delay, func() {
+		defer p.delivWG.Done()
+		select {
+		case <-p.closed:
+		default:
+			p.listen.WriteToUDP(payload, client)
+		}
+	})
 }

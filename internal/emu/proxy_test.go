@@ -1,0 +1,93 @@
+package emu
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"modelcc/internal/chaos"
+	"modelcc/internal/trace"
+)
+
+func udpListen(t *testing.T) *net.UDPConn {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// TestProxyChaosForwardFaults: a chaotic proxy still moves traffic, and
+// its injectors account for every datagram they saw. This is the
+// real-socket half of the chaos plumbing; the DES half is
+// chaos.TestElementReplay.
+func TestProxyChaosForwardFaults(t *testing.T) {
+	target := udpListen(t)
+	defer target.Close()
+
+	faults := &chaos.Config{
+		Seed:     7,
+		DropProb: 0.3,
+		DupProb:  0.1,
+	}
+	proxy, err := NewProxy("127.0.0.1:0", target.LocalAddr().String(), ProxyConfig{
+		Trace: trace.Constant(1200000, 12000), // 100 pkt/s
+		Chaos: faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	proxyDone := make(chan struct{})
+	go func() { defer close(proxyDone); proxy.Run(ctx) }()
+
+	client, err := net.DialUDP("udp", nil, proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const sent = 60
+	payload := make([]byte, 1500)
+	for i := 0; i < sent; i++ {
+		if _, err := client.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Count arrivals at the target until the stream dries up.
+	got := 0
+	buf := make([]byte, 64*1024)
+	for {
+		target.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+		if _, _, err := target.ReadFromUDP(buf); err != nil {
+			break
+		}
+		got++
+	}
+
+	proxy.Close()
+	<-proxyDone
+	fwd, _ := proxy.ChaosStats()
+	t.Logf("sent=%d delivered=%d chaos=%+v", sent, got, fwd)
+	if got == 0 {
+		t.Fatal("chaotic proxy delivered nothing")
+	}
+	if fwd.Packets == 0 {
+		t.Fatal("forward injector saw no packets")
+	}
+	if fwd.Dropped == 0 {
+		t.Fatalf("30%% drop probability over %d packets produced no drops", fwd.Packets)
+	}
+	// Conservation: everything the injector passed arrived (loopback
+	// does not lose), everything it dropped did not.
+	expect := fwd.Packets - fwd.Dropped - fwd.Blackholed + fwd.Duplicated
+	if int64(got) != expect {
+		t.Fatalf("delivered %d, injector accounting says %d", got, expect)
+	}
+}

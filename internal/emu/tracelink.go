@@ -6,6 +6,8 @@
 package emu
 
 import (
+	"fmt"
+
 	"modelcc/internal/elements"
 	"modelcc/internal/packet"
 	"modelcc/internal/sim"
@@ -35,10 +37,12 @@ type TraceLink struct {
 }
 
 // NewTraceLink returns a trace-driven link with the given queue capacity
-// delivering to next.
-func NewTraceLink(loop *sim.Loop, tr trace.Trace, capBits int64, next elements.Node) *TraceLink {
+// delivering to next. Traces come from files and flags — external input,
+// not programmer invariants — so an invalid one is an error, not a
+// panic (NewProxy treats its trace the same way).
+func NewTraceLink(loop *sim.Loop, tr trace.Trace, capBits int64, next elements.Node) (*TraceLink, error) {
 	if err := tr.Validate(); err != nil {
-		panic("emu: " + err.Error())
+		return nil, fmt.Errorf("emu: %w", err)
 	}
 	l := &TraceLink{
 		loop:      loop,
@@ -49,7 +53,7 @@ func NewTraceLink(loop *sim.Loop, tr trace.Trace, capBits int64, next elements.N
 		Drops:     make(map[packet.FlowID]int),
 	}
 	l.deliverT = sim.NewTimer(loop, l.fire)
-	return l
+	return l, nil
 }
 
 // SetNext implements elements.Wirer.

@@ -10,6 +10,15 @@ import (
 	"modelcc/internal/trace"
 )
 
+func mustTraceLink(t *testing.T, loop *sim.Loop, tr trace.Trace, capBits int64, next elements.Node) *TraceLink {
+	t.Helper()
+	link, err := NewTraceLink(loop, tr, capBits, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return link
+}
+
 func TestTraceLinkDeliversAtOpportunities(t *testing.T) {
 	loop := sim.New(1)
 	col := elements.NewCollector(loop)
@@ -19,7 +28,7 @@ func TestTraceLinkDeliversAtOpportunities(t *testing.T) {
 		},
 		Period: time.Second,
 	}
-	link := NewTraceLink(loop, tr, 100*12000, col)
+	link := mustTraceLink(t, loop, tr, 100*12000, col)
 
 	for i := int64(0); i < 4; i++ {
 		link.Receive(packet.New(packet.FlowSelf, i, 0))
@@ -46,7 +55,7 @@ func TestTraceLinkDeliversAtOpportunities(t *testing.T) {
 func TestTraceLinkTailDrop(t *testing.T) {
 	loop := sim.New(1)
 	tr := trace.Constant(12000, 12000)
-	link := NewTraceLink(loop, tr, 2*12000, elements.Discard)
+	link := mustTraceLink(t, loop, tr, 2*12000, elements.Discard)
 	for i := int64(0); i < 5; i++ {
 		link.Receive(packet.New(packet.FlowSelf, i, 0))
 	}
@@ -62,7 +71,7 @@ func TestTraceLinkIdleThenBusy(t *testing.T) {
 	loop := sim.New(1)
 	col := elements.NewCollector(loop)
 	tr := trace.Constant(120000, 12000) // 10 pkt/s
-	link := NewTraceLink(loop, tr, 100*12000, col)
+	link := mustTraceLink(t, loop, tr, 100*12000, col)
 
 	// Packet arrives mid-period; must catch the next opportunity, not
 	// a stale one.
@@ -84,7 +93,7 @@ func TestTraceLinkIdleThenBusy(t *testing.T) {
 func TestTraceLinkMaxQueueTracksBloat(t *testing.T) {
 	loop := sim.New(1)
 	tr := trace.Constant(12000, 12000) // 1 pkt/s drain
-	link := NewTraceLink(loop, tr, 1<<20, elements.Discard)
+	link := mustTraceLink(t, loop, tr, 1<<20, elements.Discard)
 	for i := int64(0); i < 50; i++ {
 		link.Receive(packet.New(packet.FlowSelf, i, 0))
 	}
@@ -94,10 +103,7 @@ func TestTraceLinkMaxQueueTracksBloat(t *testing.T) {
 }
 
 func TestTraceLinkRejectsBadTrace(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("invalid trace did not panic")
-		}
-	}()
-	NewTraceLink(sim.New(1), trace.Trace{}, 12000, elements.Discard)
+	if _, err := NewTraceLink(sim.New(1), trace.Trace{}, 12000, elements.Discard); err == nil {
+		t.Error("invalid trace did not error")
+	}
 }

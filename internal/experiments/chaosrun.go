@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/chaos"
+	"modelcc/internal/core"
+	"modelcc/internal/model"
+	"modelcc/internal/packet"
+	"modelcc/internal/units"
+)
+
+// ChaosConfig is one ISENDER run with a deterministic fault schedule
+// layered between the sender and the ground truth — the DES twin of
+// running transport.Sender through a chaotic emu.Proxy. The same
+// chaos.Config drives both worlds; here every fault lands at an exact
+// virtual instant, so the whole run (faults included) replays
+// bit-identically from the seed.
+type ChaosConfig struct {
+	// Base is the underlying experiment; its BeliefCfg should set
+	// Recover (a chaotic path produces observations no hypothesis
+	// explains, and the default config deliberately panics on those).
+	Base ISenderConfig
+	// Faults is the fault schedule. Data packets draw from the config's
+	// seed, acknowledgments from Sub("ack"), and both share the absolute
+	// blackout windows.
+	Faults chaos.Config
+	// AckFaults, when enabled, replaces the derived acknowledgment
+	// schedule — the DES twin of emu.ProxyConfig.AckChaos, for asymmetric
+	// menus like heavy ack-loss bursts over a clean-ish forward path.
+	AckFaults chaos.Config
+}
+
+// TimedUtil is one acknowledged delivery's realized utility, timestamped
+// so harnesses can window it (e.g. post-blackout recovery ratios).
+type TimedUtil struct {
+	At   time.Duration
+	Util float64
+}
+
+// ChaosResult extends ISenderResult with the fault tallies and a replay
+// hash over every externally visible event.
+type ChaosResult struct {
+	ISenderResult
+	// Hash is FNV-1a over the run's send and acknowledgment streams; two
+	// runs of the same ChaosConfig must produce equal hashes (the
+	// determinism acceptance check).
+	Hash uint64
+	// Reseeded counts belief collapse recoveries over the run.
+	Reseeded int
+	// Deliveries are the per-ack realized utilities in arrival order.
+	Deliveries []TimedUtil
+	// DataStats/AckStats are the injectors' tallies per direction.
+	DataStats, AckStats chaos.Stats
+}
+
+// delayedAck is an acknowledgment in flight past its natural arrival
+// (chaos reordering): it surfaces at at, stamped with its original
+// receive time.
+type delayedAck struct {
+	at  time.Duration
+	ack packet.Ack
+}
+
+// RunChaos executes one ISENDER run with fault injection between sender
+// and truth. Data-path faults are drops only (blackouts, bursts, i.i.d.
+// loss — a corrupted or reordered data packet on a real path is dropped
+// or re-timed by the proxy before the model sees it); the ack path
+// additionally duplicates and delays, and a delayed ack keeps its
+// original receive stamp — exactly the stale-observation shape that
+// triggers likelihood collapse and exercises Recover.
+func RunChaos(cfg ChaosConfig) ChaosResult {
+	base := cfg.Base.withDefaults()
+	rng := rand.New(rand.NewSource(base.Seed))
+	truth := model.NewTruth(base.Actual, base.PingerOnStart, base.Gate, base.HalfPeriod, rng)
+
+	states, _ := base.Prior.Enumerate()
+	var b belief.Belief
+	if base.UseParticle {
+		n := base.Particles
+		if n <= 0 {
+			n = 4 * len(states)
+		}
+		b = belief.NewParticle(states, n, base.BeliefCfg, rand.New(rand.NewSource(base.Seed+1)))
+	} else {
+		b = belief.NewExact(states, base.BeliefCfg)
+	}
+	sender := core.NewSender(b, base.Plan)
+
+	var dataInj, ackInj *chaos.Injector
+	if cfg.Faults.Enabled() {
+		dataInj = chaos.New(cfg.Faults)
+		ackInj = chaos.New(cfg.Faults.Sub("ack"))
+	}
+	if cfg.AckFaults.Enabled() {
+		ackInj = chaos.New(cfg.AckFaults)
+	}
+
+	var res ChaosResult
+	res.AckedSeq.Name = "acked"
+	res.SentSeq.Name = "sent"
+	res.PPingerOn.Name = "P(pinger on)"
+	res.SupportSize.Name = "hypotheses"
+
+	h := fnv.New64a()
+	var hb [8]byte
+	put := func(vs ...uint64) {
+		for _, v := range vs {
+			hb[0] = byte(v)
+			hb[1] = byte(v >> 8)
+			hb[2] = byte(v >> 16)
+			hb[3] = byte(v >> 24)
+			hb[4] = byte(v >> 32)
+			hb[5] = byte(v >> 40)
+			hb[6] = byte(v >> 48)
+			hb[7] = byte(v >> 56)
+			h.Write(hb[:])
+		}
+	}
+
+	now := time.Duration(0)
+	var pendingInject []model.Send
+	var inFlight []delayedAck // sorted by at
+
+	// admitSends filters the sender's new injections through the
+	// data-path injector and hashes the survivors.
+	admitSends := func(sends []model.Send) {
+		for _, snd := range sends {
+			res.SentSeq.Add(snd.At, float64(snd.Seq))
+			if dataInj != nil {
+				// A corrupted datagram fails wire decode on arrival, so
+				// on the DES path Corrupt degenerates to Drop.
+				if v := dataInj.Next(snd.At); v.Drop || v.Corrupt {
+					continue
+				}
+			}
+			put(1, uint64(snd.Seq), uint64(snd.At))
+			pendingInject = append(pendingInject, snd)
+		}
+	}
+	// admitAck runs one fresh acknowledgment through the ack-path
+	// injector; survivors land in out now or join the in-flight heap.
+	admitAck := func(a packet.Ack, out []packet.Ack) []packet.Ack {
+		if ackInj == nil {
+			return append(out, a)
+		}
+		v := ackInj.Next(a.ReceivedAt)
+		if v.Drop || v.Corrupt {
+			return out
+		}
+		n := 1
+		if v.Duplicate {
+			n = 2
+		}
+		for ; n > 0; n-- {
+			if v.Delay > 0 {
+				inFlight = append(inFlight, delayedAck{at: a.ReceivedAt + v.Delay, ack: a})
+				continue
+			}
+			out = append(out, a)
+		}
+		sort.SliceStable(inFlight, func(i, j int) bool { return inFlight[i].at < inFlight[j].at })
+		return out
+	}
+
+	act := sender.Wake(now, nil)
+	admitSends(act.Sends)
+	wakeAt := act.WakeAt
+	sampleEstimates := func() {
+		e := sender.Estimates()
+		res.PPingerOn.Add(now, e.PPingerOn)
+		res.SupportSize.Add(now, float64(e.N))
+	}
+	sampleEstimates()
+
+	for now < base.Duration {
+		next := base.Duration
+		if wakeAt > now && wakeAt < next {
+			next = wakeAt
+		}
+		if tn := truth.NextTransition(); tn > now && tn < next {
+			next = tn
+		}
+		if len(inFlight) > 0 && inFlight[0].at > now && inFlight[0].at < next {
+			next = inFlight[0].at
+		}
+		evs := truth.AdvanceTo(next, pendingInject)
+		pendingInject = pendingInject[:0]
+		now = next
+
+		var acks []packet.Ack
+		for _, ev := range evs {
+			if ev.Kind != model.OwnDelivered {
+				continue
+			}
+			res.AckedSeq.Add(ev.At, float64(ev.Seq))
+			u := float64(ev.Bits) * base.Utility.Discount(ev.Delay)
+			res.Utility += u
+			res.Deliveries = append(res.Deliveries, TimedUtil{At: ev.At, Util: u})
+			acks = admitAck(packet.Ack{Flow: packet.FlowSelf, Seq: ev.Seq, ReceivedAt: ev.At}, acks)
+		}
+		// Reordered acks surfacing now, original stamps intact.
+		for len(inFlight) > 0 && inFlight[0].at <= now {
+			acks = append(acks, inFlight[0].ack)
+			inFlight = inFlight[1:]
+		}
+		for _, a := range acks {
+			put(2, uint64(a.Seq), uint64(a.ReceivedAt))
+		}
+
+		if len(acks) > 0 || now >= wakeAt {
+			act = sender.Wake(now, acks)
+			admitSends(act.Sends)
+			if act.WakeAt <= now {
+				act.WakeAt = now + 10*time.Millisecond
+			}
+			wakeAt = act.WakeAt
+			sampleEstimates()
+		}
+	}
+
+	res.Sent = sender.Sent
+	res.Acked = sender.Acked
+	res.Wakes = sender.Wakes
+	res.OwnBufferDrops = truth.OwnBufferDropN
+	res.CrossBufferDrops = truth.CrossBufferDropN
+	res.CrossDelivered = truth.CrossDeliveredN
+	if base.Duration > 0 {
+		res.OwnThroughput = units.BitRate(float64(res.Acked) * float64(base.Actual.PktBits()) / base.Duration.Seconds())
+	}
+	if ex, ok := b.(*belief.Exact); ok {
+		res.UpdateCum = ex.Cum
+		res.Reseeded = ex.Cum.Reseeded
+	}
+	if dataInj != nil {
+		res.DataStats = dataInj.Stats
+	}
+	if ackInj != nil {
+		res.AckStats = ackInj.Stats
+	}
+	res.Hash = h.Sum64()
+	return res
+}
+
+// UtilityIn sums the realized utility of deliveries in [from, to).
+func (r *ChaosResult) UtilityIn(from, to time.Duration) float64 {
+	var u float64
+	for _, d := range r.Deliveries {
+		if d.At >= from && d.At < to {
+			u += d.Util
+		}
+	}
+	return u
+}

@@ -87,7 +87,11 @@ func RunFig1(cfg Fig1Config) Fig1Result {
 		ackLine.Push(ackMsg{ackNext, echoSentAt})
 	}
 
-	link := emu.NewTraceLink(loop, tr, units.BytesToBits(cfg.BufferBytes), nil)
+	link, err := emu.NewTraceLink(loop, tr, units.BytesToBits(cfg.BufferBytes), nil)
+	if err != nil {
+		// Invariant: GenLTE traces are valid by construction.
+		panic(err)
+	}
 	// Forward path: propagation delay then the trace-driven bottleneck.
 	fwd := elements.NewDelay(loop, cfg.BaseRTT/2, link)
 	link.SetNext(recv)

@@ -199,6 +199,34 @@ func (s *State) CloneInto(dst *State) {
 	dst.QHead = 0
 }
 
+// Rebase shifts every absolute time in the state by `by`. Belief
+// collapse recovery (belief.Config.Recover) uses it to restart
+// pristine prior states at the collapse instant: the re-seeded
+// hypothesis behaves exactly as a fresh Initial state would if the run
+// had begun at Now+by. "Never" deadlines (units.Forever, e.g. NextCross
+// with no cross traffic) saturate instead of overflowing into the past.
+func (s *State) Rebase(by time.Duration) {
+	s.Now += by
+	s.NextCross = saturatingShift(s.NextCross, by)
+	s.NextToggle = saturatingShift(s.NextToggle, by)
+	if s.Serving {
+		s.ServiceDone += by
+		s.InService.EnqueuedAt += by
+	}
+	for i := range s.Queue {
+		s.Queue[i].EnqueuedAt += by
+	}
+}
+
+// saturatingShift adds by to t, clamping at units.Forever on overflow so
+// sentinel "never" deadlines stay in the future.
+func saturatingShift(t, by time.Duration) time.Duration {
+	if by > 0 && t > units.Forever-by {
+		return units.Forever
+	}
+	return t + by
+}
+
 // EqualDynamic reports whether two states at the same instant have
 // identical dynamic network state — same service occupancy and identical
 // queues, including enqueue stamps (which feed delay-sensitive
@@ -376,6 +404,10 @@ func (s *State) Run(until time.Duration, sends []Send, out *[]Event) {
 			snd := sends[si]
 			si++
 			if snd.At < s.Now {
+				// Invariant: sends are stamped by the sender's own
+				// monotone clock (transport.Sender clamps chaotic wall
+				// clocks before they get here), so a past send is a
+				// driver bug the run must surface, not tolerate.
 				panic("model: send scheduled in the hypothesis's past")
 			}
 			s.Now = snd.At

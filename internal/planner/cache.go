@@ -84,6 +84,46 @@ func (pc *PolicyCache) Decide(sup []belief.Hypothesis, pending []model.Send, now
 	return d
 }
 
+// Lookup reports the memoized decision for the given belief, rebased to
+// now, without computing anything on a miss. The degradation ladder
+// (Guard) uses it as the first fallback rung when a live Decide blows
+// its budget: a quantized near-match of the current situation is a far
+// better action than a blind one.
+func (pc *PolicyCache) Lookup(sup []belief.Hypothesis, pending []model.Send, now time.Duration) (Decision, bool) {
+	wq := pc.WeightQuantum
+	if wq <= 0 {
+		wq = 1e-6
+	}
+	fp := fingerprint(sup, pending, now, pc.TimeQuantum, wq)
+	d, ok := pc.entries[fp]
+	if !ok {
+		pc.Misses++
+		return Decision{}, false
+	}
+	pc.Hits++
+	return Decision{
+		SendNow: d.sendNow,
+		WakeAt:  now + d.delta,
+		Gain:    d.gain,
+		Support: len(sup),
+	}, true
+}
+
+// Store memoizes a decision computed elsewhere (e.g. by a Guard's
+// background Decide) under the belief's fingerprint at the decision
+// instant.
+func (pc *PolicyCache) Store(sup []belief.Hypothesis, pending []model.Send, now time.Duration, d Decision) {
+	wq := pc.WeightQuantum
+	if wq <= 0 {
+		wq = 1e-6
+	}
+	fp := fingerprint(sup, pending, now, pc.TimeQuantum, wq)
+	if len(pc.entries) >= pc.MaxEntries {
+		pc.entries = make(map[uint64]cachedDecision)
+	}
+	pc.entries[fp] = cachedDecision{sendNow: d.SendNow, delta: d.WakeAt - now, gain: d.Gain}
+}
+
 // fingerprint hashes the support and pending sends with all times
 // rebased to now, times bucketed by tq (0 = exact) and weights by wq.
 // Sequence numbers are deliberately excluded: the policy depends on the

@@ -1,0 +1,185 @@
+package planner
+
+import (
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/model"
+)
+
+// Guard bounds how long one decision may take. The planner's expected
+// wake-to-wake latency is milliseconds, but a chaotic run can hand it a
+// pathological posterior (a blackout-widened support, a reseeded prior)
+// exactly when the sender can least afford to stall: on a real socket
+// path a late decision is a missed transmission opportunity, and the
+// event loop behind it backs up.
+//
+// Guard.Decide runs the live Decide on a background goroutine against a
+// deep-cloned snapshot of the belief and races it against Budget. On
+// timeout it walks the degradation ladder:
+//
+//  1. live Decide, if it returns within Budget (the common case);
+//  2. the PolicyCache — a quantized near-match of the current situation
+//     computed on some earlier wake;
+//  3. the last safe action: re-arm the most recent non-send pacing
+//     interval, rebased to now;
+//  4. no action at all: sleep one Grid and re-decide.
+//
+// Rungs 3 and 4 never send — a sender that has lost both its live
+// planner and its cache is flying blind, and the conservative action on
+// an unknown network is silence, not a burst.
+//
+// A Decide that blows its budget keeps cooking: its result is drained on
+// a later call and stored into the cache, so one slow decision seeds the
+// fallback for the next. At most one background Decide is in flight; the
+// result channel is buffered, so an abandoned straggler can never leak a
+// goroutine.
+//
+// Guard is not safe for concurrent use; like Sender it belongs to one
+// driver goroutine.
+type Guard struct {
+	// Budget is the per-decision deadline. Zero or negative means no
+	// deadline: Decide runs synchronously (through Cache when set).
+	Budget time.Duration
+	// Cache, when non-nil, is both the timeout fallback (rung 2) and the
+	// store for background results.
+	Cache *PolicyCache
+
+	// Live counts decisions served by the live planner within budget;
+	// CacheHits, fallbacks served from the cache; SafeFallbacks,
+	// decisions that fell to rung 3/4; Timeouts, budget expiries;
+	// Overlaps, calls that arrived while a prior Decide was still
+	// cooking.
+	Live          int64
+	CacheHits     int64
+	SafeFallbacks int64
+	Timeouts      int64
+	Overlaps      int64
+
+	inflight      chan guardResult
+	lastSafeDelta time.Duration
+	haveSafe      bool
+}
+
+// guardResult carries a background decision together with the snapshot
+// it was computed from, so it can be fingerprinted into the cache.
+type guardResult struct {
+	d       Decision
+	sup     []belief.Hypothesis
+	pending []model.Send
+	now     time.Duration
+}
+
+// NewGuard returns a Guard with the given budget over an optional cache.
+func NewGuard(budget time.Duration, cache *PolicyCache) *Guard {
+	return &Guard{Budget: budget, Cache: cache}
+}
+
+// Decide returns an action for the packet with sequence number seq
+// within roughly Budget, degrading per the ladder above.
+func (g *Guard) Decide(sup []belief.Hypothesis, pending []model.Send, now time.Duration, seq int64, cfg Config) Decision {
+	if g.Budget <= 0 {
+		var d Decision
+		if g.Cache != nil {
+			d = g.Cache.Decide(sup, pending, now, seq, cfg)
+		} else {
+			d = Decide(sup, pending, now, seq, cfg)
+		}
+		g.Live++
+		g.noteSafe(d, now)
+		return d
+	}
+
+	// Drain a straggler that finished since the last wake.
+	if g.inflight != nil {
+		select {
+		case res := <-g.inflight:
+			g.inflight = nil
+			g.absorb(res)
+		default:
+		}
+	}
+	if g.inflight != nil {
+		// A previous decision is still cooking; stacking another
+		// goroutine on a planner that is already too slow only digs the
+		// hole deeper.
+		g.Overlaps++
+		return g.fallback(sup, pending, now, cfg)
+	}
+
+	// Snapshot the belief for the background goroutine: the belief will
+	// mutate these states on its next Update, and topK copies only the
+	// hypothesis headers.
+	hyps := topK(sup, cfg.withDefaults().MaxHyps)
+	for i := range hyps {
+		hyps[i].S = hyps[i].S.Clone()
+	}
+	pcopy := append([]model.Send(nil), pending...)
+	bg := cfg
+	// The caller's pool is single-checkout; the goroutine takes its own
+	// from the shared pool cache instead.
+	bg.Pool = nil
+	ch := make(chan guardResult, 1)
+	g.inflight = ch
+	go func() {
+		ch <- guardResult{d: Decide(hyps, pcopy, now, seq, bg), sup: hyps, pending: pcopy, now: now}
+	}()
+
+	timer := time.NewTimer(g.Budget)
+	select {
+	case res := <-ch:
+		timer.Stop()
+		g.inflight = nil
+		g.absorb(res)
+		g.Live++
+		g.noteSafe(res.d, now)
+		return res.d
+	case <-timer.C:
+		g.Timeouts++
+		return g.fallback(sup, pending, now, cfg)
+	}
+}
+
+// fallback walks rungs 2–4 of the ladder.
+func (g *Guard) fallback(sup []belief.Hypothesis, pending []model.Send, now time.Duration, cfg Config) Decision {
+	if g.Cache != nil {
+		if d, ok := g.Cache.Lookup(sup, pending, now); ok {
+			g.CacheHits++
+			g.noteSafe(d, now)
+			return d
+		}
+	}
+	g.SafeFallbacks++
+	grid := cfg.Grid
+	if grid <= 0 {
+		grid = DefaultConfig().Grid
+	}
+	wake := now + grid
+	if g.haveSafe && g.lastSafeDelta > 0 {
+		wake = now + g.lastSafeDelta
+	}
+	return Decision{SendNow: false, WakeAt: wake}
+}
+
+// absorb stores a background result into the cache under the snapshot it
+// was computed from.
+func (g *Guard) absorb(res guardResult) {
+	if g.Cache != nil {
+		g.Cache.Store(res.sup, res.pending, res.now, res.d)
+	}
+	g.noteSafe(res.d, res.now)
+}
+
+// noteSafe remembers the pacing interval of the most recent non-send
+// decision; send decisions are never replayed blind (a stale "send now"
+// under repeated timeouts would burst into a network that just proved
+// unpredictable).
+func (g *Guard) noteSafe(d Decision, now time.Duration) {
+	if d.SendNow {
+		return
+	}
+	if delta := d.WakeAt - now; delta > 0 {
+		g.lastSafeDelta = delta
+		g.haveSafe = true
+	}
+}

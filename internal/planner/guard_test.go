@@ -1,0 +1,106 @@
+package planner
+
+import (
+	"testing"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/model"
+)
+
+// guardSupport builds a mid-sized uniform support: big enough that a
+// live Decide takes real work (so a nanosecond budget reliably expires
+// first), small enough to keep the test fast.
+func guardSupport() []belief.Hypothesis {
+	states, w := model.Prior{
+		LinkRate:      model.PriorRange{Lo: 10000, Hi: 16000, N: 4},
+		CrossFrac:     model.PriorRange{Lo: 0.4, Hi: 0.7, N: 2},
+		BufferCapBits: model.PriorRange{Lo: 72000, Hi: 108000, N: 2},
+		FullnessSteps: 2,
+		MeanSwitch:    100 * time.Second,
+	}.Enumerate()
+	sup := make([]belief.Hypothesis, len(states))
+	for i, s := range states {
+		sup[i] = belief.Hypothesis{S: s, W: w}
+	}
+	return sup
+}
+
+// TestGuardLiveWithinBudget: with a generous budget the guard returns
+// exactly what the live planner would.
+func TestGuardLiveWithinBudget(t *testing.T) {
+	sup := guardSupport()
+	cfg := Config{}
+	g := NewGuard(30*time.Second, nil)
+	got := g.Decide(sup, nil, 0, 0, cfg)
+	want := Decide(sup, nil, 0, 0, cfg)
+	if got.SendNow != want.SendNow || got.WakeAt != want.WakeAt || got.Gain != want.Gain {
+		t.Fatalf("guarded decision %+v != live decision %+v", got, want)
+	}
+	if g.Live != 1 || g.Timeouts != 0 {
+		t.Fatalf("counters: live=%d timeouts=%d, want 1/0", g.Live, g.Timeouts)
+	}
+}
+
+// TestGuardTimeoutFallsToSafe: an expired budget with no cache and no
+// remembered action degrades to the bottom rung — no send, re-decide in
+// one grid step.
+func TestGuardTimeoutFallsToSafe(t *testing.T) {
+	sup := guardSupport()
+	g := NewGuard(time.Nanosecond, nil)
+	now := 3 * time.Second
+	d := g.Decide(sup, nil, now, 0, Config{})
+	if d.SendNow {
+		t.Fatal("blind fallback must not send")
+	}
+	if want := now + DefaultConfig().Grid; d.WakeAt != want {
+		t.Fatalf("fallback wake %v, want %v", d.WakeAt, want)
+	}
+	if g.Timeouts != 1 || g.SafeFallbacks != 1 {
+		t.Fatalf("counters: timeouts=%d safeFallbacks=%d, want 1/1", g.Timeouts, g.SafeFallbacks)
+	}
+}
+
+// TestGuardLastSafeAction: rung 3 replays the most recent non-send
+// pacing interval rather than the raw grid.
+func TestGuardLastSafeAction(t *testing.T) {
+	g := NewGuard(time.Nanosecond, nil)
+	g.noteSafe(Decision{WakeAt: 1300 * time.Millisecond}, time.Second)
+	now := 10 * time.Second
+	d := g.Decide(guardSupport(), nil, now, 0, Config{})
+	if d.SendNow {
+		t.Fatal("fallback must not send")
+	}
+	if want := now + 300*time.Millisecond; d.WakeAt != want {
+		t.Fatalf("fallback wake %v, want %v (last safe delta rebased)", d.WakeAt, want)
+	}
+}
+
+// TestGuardCacheSeededByStraggler: a Decide that blows its budget keeps
+// cooking; its drained result seeds the cache, and a later timeout on
+// the same situation is served from there.
+func TestGuardCacheSeededByStraggler(t *testing.T) {
+	sup := guardSupport()
+	g := NewGuard(time.Nanosecond, NewPolicyCache(0))
+	now := 2 * time.Second
+	deadline := time.Now().Add(5 * time.Second)
+	for g.CacheHits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no cache hit within 5s: timeouts=%d overlaps=%d safeFallbacks=%d",
+				g.Timeouts, g.Overlaps, g.SafeFallbacks)
+		}
+		// A cache-hit fallback may legitimately send — it is a real
+		// computed decision; only the blind rungs below it never do.
+		g.Decide(sup, nil, now, 0, Config{})
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The cached decision must match what the live planner computes.
+	cached, ok := g.Cache.Lookup(sup, nil, now)
+	if !ok {
+		t.Fatal("lookup missed after a recorded hit")
+	}
+	want := Decide(sup, nil, now, 0, Config{})
+	if cached.SendNow != want.SendNow || cached.WakeAt != want.WakeAt {
+		t.Fatalf("cached %+v != live %+v", cached, want)
+	}
+}

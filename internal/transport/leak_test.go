@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/core"
+	"modelcc/internal/emu"
+	"modelcc/internal/trace"
+)
+
+// settleGoroutines polls until the goroutine count returns to at most
+// base, or the deadline passes; it returns the final count.
+func settleGoroutines(base int, wait time.Duration) int {
+	deadline := time.Now().Add(wait)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base || time.Now().After(deadline) {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSenderRunNoLeakOnCancel: cancelling mid-run must join the ack
+// reader; a wedged reader would poison every later test's count.
+func TestSenderRunNoLeakOnCancel(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	recvConn := udpListen(t)
+	defer recvConn.Close()
+	rctx, rcancel := context.WithCancel(context.Background())
+	recvDone := make(chan struct{})
+	go func() { defer close(recvDone); NewReceiver(recvConn).Run(rctx) }()
+
+	sndConn := udpDial(t, recvConn.LocalAddr().(*net.UDPAddr))
+	defer sndConn.Close()
+	states, _ := fastPrior().Enumerate()
+	snd := NewSender(sndConn, core.NewSender(belief.NewExact(states, softCfg()), fastPlan()), 1500)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := snd.Run(ctx, 10*time.Second); err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+
+	rcancel()
+	<-recvDone
+	if n := settleGoroutines(base, 2*time.Second); n > base {
+		t.Fatalf("goroutines after cancel: %d, want <= %d", n, base)
+	}
+}
+
+// TestReceiverRunNoLeakOnCancel: the receiver's watcher goroutine must
+// die with Run even when the socket stays open.
+func TestReceiverRunNoLeakOnCancel(t *testing.T) {
+	base := runtime.NumGoroutine()
+	recvConn := udpListen(t)
+	defer recvConn.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- NewReceiver(recvConn).Run(ctx) }()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("receiver returned %v on cancel, want nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("receiver did not return after cancel")
+	}
+	if n := settleGoroutines(base, 2*time.Second); n > base {
+		t.Fatalf("goroutines after cancel: %d, want <= %d", n, base)
+	}
+}
+
+// TestProxyRunNoLeakOnClose: a bare Close (no context cancellation) must
+// return Run promptly with all three proxy goroutines joined — the exact
+// pattern every defer-using test relies on.
+func TestProxyRunNoLeakOnClose(t *testing.T) {
+	base := runtime.NumGoroutine()
+	recvConn := udpListen(t)
+	defer recvConn.Close()
+
+	proxy, err := emu.NewProxy("127.0.0.1:0", recvConn.LocalAddr().String(), emu.ProxyConfig{
+		Trace: trace.Constant(120000, 12000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proxy.Run(context.Background()) }()
+	time.Sleep(100 * time.Millisecond)
+
+	proxy.Close()
+	proxy.Close() // idempotent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("proxy.Run returned %v after Close, want nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("proxy.Run did not return after Close")
+	}
+	proxy.Close() // still safe after Run returned
+	if n := settleGoroutines(base, 2*time.Second); n > base {
+		t.Fatalf("goroutines after Close: %d, want <= %d", n, base)
+	}
+}

@@ -12,6 +12,14 @@
 // Observation matching MUST use a soft likelihood (belief.Config's
 // SoftSigma) because OS scheduling adds jitter the model does not
 // represent.
+//
+// Failure model: both loops assume the network under them misbehaves —
+// reads poll with short deadlines so cancellation is never missed,
+// transient socket errors are retried with capped backoff rather than
+// killing the run, decode failures are counted and dropped, and a
+// non-monotone wall clock (NTP steps, VM migration) is clamped before it
+// can reach the belief, which requires monotone time. See README.md
+// ("Failure model").
 package transport
 
 import (
@@ -19,12 +27,21 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"modelcc/internal/core"
 	"modelcc/internal/packet"
 	"modelcc/internal/wire"
 )
+
+// readPollInterval is the per-read deadline both loops poll with: short
+// enough that cancellation and clock checks are prompt, long enough to
+// stay out of the syscall budget.
+const readPollInterval = 250 * time.Millisecond
+
+// maxReadBackoff caps the retry backoff after transient read errors.
+const maxReadBackoff = 250 * time.Millisecond
 
 // Receiver is the UDP RECEIVER (§3.4): it acknowledges every data
 // packet with its receive time and sequence number.
@@ -33,6 +50,20 @@ type Receiver struct {
 
 	// Received counts data packets; AcksSent counts acknowledgments.
 	Received, AcksSent int64
+	// DecodeErrors counts datagrams that failed wire.Decode — corrupted
+	// or foreign traffic, dropped like any UDP service drops noise.
+	DecodeErrors int64
+	// WriteErrors counts acknowledgment writes that failed transiently
+	// (e.g. ICMP-induced errors on a connected path); the receiver keeps
+	// serving.
+	WriteErrors int64
+
+	// OnData, when non-nil, observes every accepted data packet: its
+	// sequence number, the sender's stamp (nanoseconds since the sender's
+	// epoch) and the receive instant (absolute wall-clock nanoseconds).
+	// Soak harnesses meter delivered utility here — ground truth that ack
+	// loss on the return path cannot distort. Called from Run's goroutine.
+	OnData func(seq, sentNanos, recvNanos int64)
 }
 
 // NewReceiver wraps a bound UDP socket.
@@ -40,37 +71,56 @@ func NewReceiver(conn *net.UDPConn) *Receiver {
 	return &Receiver{conn: conn}
 }
 
-// Run serves until ctx is cancelled or the socket fails.
+// Run serves until ctx is cancelled or the socket is closed. It returns
+// nil in both cases, and leaves no goroutine behind.
 func (r *Receiver) Run(ctx context.Context) error {
-	buf := make([]byte, 64*1024)
-	ackBuf := make([]byte, wire.HeaderLen)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		<-ctx.Done()
 		r.conn.SetReadDeadline(time.Now()) // unblock the read loop
 	}()
+	defer wg.Wait()
+
+	buf := make([]byte, 64*1024)
+	ackBuf := make([]byte, wire.HeaderLen)
+	backoff := time.Millisecond
 	for {
+		r.conn.SetReadDeadline(time.Now().Add(readPollInterval))
 		n, addr, err := r.conn.ReadFromUDP(buf)
 		if err != nil {
-			if ctx.Err() != nil {
-				return nil
-			}
-			if errors.Is(err, net.ErrClosed) {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
-				if ctx.Err() != nil {
-					return nil
-				}
+				backoff = time.Millisecond
 				continue
 			}
-			return fmt.Errorf("transport: receiver read: %w", err)
+			// Transient fault (ICMP unreachable surfacing on a read,
+			// momentary resource exhaustion): back off and keep serving.
+			if !sleepCtx(ctx, backoff) {
+				return nil
+			}
+			if backoff *= 2; backoff > maxReadBackoff {
+				backoff = maxReadBackoff
+			}
+			continue
 		}
+		backoff = time.Millisecond
 		typ, data, _, err := wire.Decode(buf[:n])
 		if err != nil || typ != wire.TypeData {
+			r.DecodeErrors++
 			continue // not ours; drop silently like any UDP service
 		}
 		r.Received++
+		recvNanos := time.Now().UnixNano()
+		if r.OnData != nil {
+			r.OnData(data.Seq, data.SentNanos, recvNanos)
+		}
 		ack := wire.Ack{
 			Seq:           data.Seq,
 			EchoSentNanos: data.SentNanos,
@@ -81,12 +131,26 @@ func (r *Receiver) Run(ctx context.Context) error {
 			return fmt.Errorf("transport: encode ack: %w", err)
 		}
 		if _, err := r.conn.WriteToUDP(dg, addr); err != nil {
-			if ctx.Err() != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
-			return fmt.Errorf("transport: receiver write: %w", err)
+			r.WriteErrors++
+			continue
 		}
 		r.AcksSent++
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done; it reports whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
 	}
 }
 
@@ -98,6 +162,15 @@ type SenderStats struct {
 	MeanOWD time.Duration
 	// Wakes counts sender wakeups.
 	Wakes int64
+	// ReadRetries counts transient ack-stream read errors that were
+	// retried with backoff.
+	ReadRetries int64
+	// DecodeErrors counts datagrams on the ack stream that failed
+	// wire.Decode — corruption made visible, not fatal.
+	DecodeErrors int64
+	// ClockClamps counts wakeups where the wall clock ran backwards and
+	// was clamped to keep belief time monotone.
+	ClockClamps int64
 }
 
 // Sender drives a core.Sender over a connected UDP socket.
@@ -106,6 +179,14 @@ type Sender struct {
 	s     *core.Sender
 	padTo int
 	epoch time.Time
+
+	// Clock, when non-nil, replaces time-since-epoch as the run's time
+	// source (chaos tests inject jumping clocks here). Whatever the
+	// source, Run clamps it monotone before it reaches the belief.
+	Clock func() time.Duration
+	// OnAck, when non-nil, observes every acknowledgment consumed by the
+	// send loop (soak harnesses meter utility through it).
+	OnAck func(packet.Ack)
 }
 
 // NewSender wraps a connected UDP socket around an ISENDER. padTo pads
@@ -116,7 +197,8 @@ func NewSender(conn *net.UDPConn, s *core.Sender, padTo int) *Sender {
 }
 
 // Run executes the send loop for the given duration (or until ctx is
-// cancelled).
+// cancelled, returning ctx.Err()). All goroutines it starts are joined
+// before it returns.
 func (s *Sender) Run(ctx context.Context, duration time.Duration) (SenderStats, error) {
 	s.epoch = time.Now()
 	var stats SenderStats
@@ -124,10 +206,32 @@ func (s *Sender) Run(ctx context.Context, duration time.Duration) (SenderStats, 
 	acksCh := make(chan packet.Ack, 256)
 	readCtx, stopRead := context.WithCancel(ctx)
 	defer stopRead()
-	go s.readAcks(readCtx, acksCh)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.readAcks(readCtx, acksCh, &stats)
+	}()
+	defer wg.Wait()
+	defer stopRead() // cancel before joining (defers run LIFO)
 
 	sendBuf := make([]byte, s.padTo+wire.HeaderLen)
-	now := func() time.Duration { return time.Since(s.epoch) }
+	raw := s.Clock
+	if raw == nil {
+		raw = func() time.Duration { return time.Since(s.epoch) }
+	}
+	var lastNow time.Duration
+	// The belief panics on time regressions (they are driver bugs in the
+	// DES world); on a real host the clock itself is untrusted, so clamp.
+	now := func() time.Duration {
+		t := raw()
+		if t < lastNow {
+			stats.ClockClamps++
+			return lastNow
+		}
+		lastNow = t
+		return t
+	}
 
 	transmit := func(seq int64, at time.Duration) error {
 		dg, err := wire.EncodeData(sendBuf, wire.Data{Seq: seq, SentNanos: int64(at)}, s.padTo)
@@ -155,7 +259,21 @@ func (s *Sender) Run(ctx context.Context, duration time.Duration) (SenderStats, 
 	if err != nil {
 		return stats, err
 	}
-	deadline := time.NewTimer(time.Until(s.epoch.Add(wakeAt)))
+	// The wake timer is armed with the logical distance to wakeAt, not
+	// the wall-clock instant epoch+wakeAt: when an injected (or NTP-
+	// stepped) clock jumps backwards, the clamped logical clock freezes
+	// while wall time keeps running, and an absolute-instant timer would
+	// land permanently in the past — a busy spin until the wall clock
+	// catches back up. The floor keeps a zero-distance wake from spinning
+	// the loop.
+	wakeDelay := func() time.Duration {
+		d := wakeAt - lastNow
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		return d
+	}
+	deadline := time.NewTimer(wakeDelay())
 	defer deadline.Stop()
 	end := time.NewTimer(duration)
 	defer end.Stop()
@@ -172,35 +290,45 @@ func (s *Sender) Run(ctx context.Context, duration time.Duration) (SenderStats, 
 			for len(acksCh) > 0 {
 				acks = append(acks, <-acksCh)
 			}
+			// An acknowledgment whose receive stamp regressed (clock
+			// jump on the echo path, duplicate surfacing late) must not
+			// drive belief time backwards; the clamp in now() covers the
+			// update instant, and SoftSigma covers the stamps.
 			for _, ack := range acks {
 				stats.Acked++
 				owdSum += ack.ReceivedAt - ack.SentAt
 				if stats.Acked > 0 {
 					stats.MeanOWD = owdSum / time.Duration(stats.Acked)
 				}
+				if s.OnAck != nil {
+					s.OnAck(ack)
+				}
 			}
 			if wakeAt, err = wake(acks); err != nil {
 				return stats, err
 			}
-			deadline.Reset(time.Until(s.epoch.Add(wakeAt)))
+			deadline.Reset(wakeDelay())
 		case <-deadline.C:
 			if wakeAt, err = wake(nil); err != nil {
 				return stats, err
 			}
-			deadline.Reset(time.Until(s.epoch.Add(wakeAt)))
+			deadline.Reset(wakeDelay())
 		}
 	}
 }
 
 // readAcks decodes acknowledgments and rebases the receiver's absolute
-// timestamps onto the sender epoch.
-func (s *Sender) readAcks(ctx context.Context, out chan<- packet.Ack) {
+// timestamps onto the sender epoch. Transient read errors are retried
+// with capped backoff — on a chaotic path the ack stream stalls and
+// recovers; it must never silently wedge the sender into flying blind.
+func (s *Sender) readAcks(ctx context.Context, out chan<- packet.Ack, stats *SenderStats) {
 	buf := make([]byte, 64*1024)
-	go func() {
-		<-ctx.Done()
-		s.conn.SetReadDeadline(time.Now())
-	}()
+	backoff := time.Millisecond
 	for {
+		if ctx.Err() != nil {
+			return
+		}
+		s.conn.SetReadDeadline(time.Now().Add(readPollInterval))
 		n, err := s.conn.Read(buf)
 		if err != nil {
 			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
@@ -208,15 +336,22 @@ func (s *Sender) readAcks(ctx context.Context, out chan<- packet.Ack) {
 			}
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
-				if ctx.Err() != nil {
-					return
-				}
+				backoff = time.Millisecond
 				continue
 			}
-			return
+			stats.ReadRetries++
+			if !sleepCtx(ctx, backoff) {
+				return
+			}
+			if backoff *= 2; backoff > maxReadBackoff {
+				backoff = maxReadBackoff
+			}
+			continue
 		}
+		backoff = time.Millisecond
 		typ, _, ack, err := wire.Decode(buf[:n])
 		if err != nil || typ != wire.TypeAck {
+			stats.DecodeErrors++
 			continue
 		}
 		rebased := packet.Ack{

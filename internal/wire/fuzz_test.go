@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode hammers the decoder with arbitrary datagrams — the exact
+// input a chaotic path (or a hostile peer) delivers. Required
+// properties: never panic, never read past the datagram, classify every
+// failure as one of the typed decode errors, and round-trip anything it
+// accepts. The checked-in seed corpus (testdata/fuzz/FuzzDecode) pins
+// the interesting boundaries: truncated headers, a payload length of
+// 0xFFFFFFFF, off-by-one truncations.
+func FuzzDecode(f *testing.F) {
+	var buf [2048]byte
+	if dg, err := EncodeData(buf[:], Data{Seq: 7, SentNanos: 12345, Payload: []byte("hello")}, 64); err == nil {
+		f.Add(append([]byte(nil), dg...))
+	}
+	if dg, err := EncodeAck(buf[:], Ack{Seq: 9, EchoSentNanos: 1, ReceivedNanos: 2}); err == nil {
+		f.Add(append([]byte(nil), dg...))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x4d, 0x43, 1, 1})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		typ, data, ack, err := Decode(b)
+		if err != nil {
+			if !errors.Is(err, ErrShort) && !errors.Is(err, ErrMagic) &&
+				!errors.Is(err, ErrVersion) && !errors.Is(err, ErrType) &&
+				!errors.Is(err, ErrLength) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		switch typ {
+		case TypeData:
+			// The payload must alias the input, never extend past it.
+			if len(data.Payload) > len(b)-HeaderLen {
+				t.Fatalf("payload %d bytes from a %d-byte datagram", len(data.Payload), len(b))
+			}
+			enc := make([]byte, HeaderLen+len(data.Payload))
+			dg, err := EncodeData(enc, data, 0)
+			if err != nil {
+				t.Fatalf("re-encode of accepted data: %v", err)
+			}
+			typ2, data2, _, err := Decode(dg)
+			if err != nil || typ2 != TypeData {
+				t.Fatalf("re-decode: typ=%v err=%v", typ2, err)
+			}
+			if data2.Seq != data.Seq || data2.SentNanos != data.SentNanos || !bytes.Equal(data2.Payload, data.Payload) {
+				t.Fatal("data round-trip mismatch")
+			}
+		case TypeAck:
+			enc := make([]byte, HeaderLen)
+			dg, err := EncodeAck(enc, ack)
+			if err != nil {
+				t.Fatalf("re-encode of accepted ack: %v", err)
+			}
+			typ2, _, ack2, err := Decode(dg)
+			if err != nil || typ2 != TypeAck || ack2 != ack {
+				t.Fatalf("ack round-trip mismatch: typ=%v err=%v", typ2, err)
+			}
+		default:
+			t.Fatalf("Decode accepted unknown type %#x", typ)
+		}
+	})
+}

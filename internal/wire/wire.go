@@ -127,7 +127,11 @@ func Decode(b []byte) (typ byte, data Data, ack Ack, err error) {
 	plen := int(binary.BigEndian.Uint32(b[28:32]))
 	switch typ {
 	case TypeData:
-		if HeaderLen+plen > len(b) {
+		// plen is attacker-controlled: compare against the remaining
+		// bytes without forming HeaderLen+plen, which can overflow (and
+		// on 32-bit ints go negative, turning the slice below into a
+		// panic).
+		if plen < 0 || plen > len(b)-HeaderLen {
 			return 0, data, ack, ErrLength
 		}
 		data = Data{Seq: seq, SentNanos: tsA, Payload: b[HeaderLen : HeaderLen+plen]}
