@@ -17,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -27,6 +29,7 @@ import (
 	"modelcc/internal/model"
 	"modelcc/internal/packet"
 	"modelcc/internal/planner"
+	"modelcc/internal/policy"
 )
 
 // Result is one benchmark's measurement.
@@ -42,13 +45,50 @@ type Result struct {
 	SendersPerSec float64 `json:"senders_per_sec,omitempty"`
 }
 
+// PolicyReport measures the compiled-policy serving path: a table is
+// compiled from a fleet workload, then the same workload is replayed
+// served from the table, against a pure live-planning run of the same
+// seed for the utility comparison.
+type PolicyReport struct {
+	FleetN       int     `json:"fleet_n"`
+	DurationS    float64 `json:"virtual_duration_s"`
+	Seed         int64   `json:"seed"`
+	TableEntries int     `json:"table_entries"`
+	TableBytes   int64   `json:"table_bytes"`
+
+	// HitRate is compiled decisions / all decisions on the serve replay.
+	HitRate           float64 `json:"hit_rate"`
+	CompiledDecisions int64   `json:"compiled_decisions"`
+	LiveDecisions     int64   `json:"live_decisions"`
+
+	// Mean per-member utility: live planning (no cache, no table)
+	// versus served from the table, same seed. Ratio ≈ 1 means the
+	// compiled path gives up nothing.
+	MeanUtilityLive     float64 `json:"mean_utility_live"`
+	MeanUtilityCompiled float64 `json:"mean_utility_compiled"`
+	UtilityRatio        float64 `json:"utility_ratio"`
+
+	// Decision latency percentiles on the serve replay (Guard.Decide
+	// wall time, table hits and live fallbacks combined).
+	P50DecideUs float64 `json:"p50_decide_us"`
+	P99DecideUs float64 `json:"p99_decide_us"`
+
+	// LookupNsPerOp is the raw Table.Lookup cost (zero-alloc binary
+	// search under the prefix index).
+	LookupNsPerOp  int64 `json:"lookup_ns_per_op"`
+	LookupAllocs   int64 `json:"lookup_allocs_per_op"`
+	CompileStores  int   `json:"compile_stores"`
+	CompileDropped int   `json:"compile_collisions_dropped"`
+}
+
 // Report is the whole run.
 type Report struct {
-	GoMaxProcs int       `json:"gomaxprocs"`
-	Workers    int       `json:"workers"`
-	DurationS  float64   `json:"virtual_duration_s"`
-	Results    []Result  `json:"results"`
-	At         time.Time `json:"at"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	DurationS  float64       `json:"virtual_duration_s"`
+	Results    []Result      `json:"results"`
+	Policy     *PolicyReport `json:"policy,omitempty"`
+	At         time.Time     `json:"at"`
 }
 
 func measure(name string, f func(b *testing.B)) Result {
@@ -61,6 +101,129 @@ func measure(name string, f func(b *testing.B)) Result {
 		Iterations:  r.N,
 		MsPerOp:     float64(r.NsPerOp()) / 1e6,
 	}
+}
+
+func percentile(sorted []int64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i])
+}
+
+// measurePolicy compiles a policy table from a fleet workload and
+// replays that workload three ways — live planning, warm-cache compile,
+// table-served — to measure hit rate, utility parity, and decision
+// latency on the compiled path.
+func measurePolicy(workers int, short bool) (*PolicyReport, error) {
+	const polN = 32
+	const seed = 5
+	polDur := 20 * time.Second
+	if short {
+		polDur = 10 * time.Second
+	}
+
+	cc := policy.CompileConfig{
+		Fleet:    fleet.Config{N: polN, Workers: workers},
+		Seeds:    []int64{seed},
+		Duration: polDur,
+		Note:     "benchjson",
+	}
+	h, recs, stats, err := policy.Compile(cc)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "benchjson-policy")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.pol")
+	if err := policy.WriteTable(path, h, recs); err != nil {
+		return nil, err
+	}
+	t, err := policy.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer t.Close()
+	if err := t.Verify(); err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+
+	// Live baseline: pure live planning (no shared cache, no table).
+	live := fleet.New(fleet.Config{N: polN, Workers: workers, Seed: seed, NoSharedCache: true})
+	live.Run(polDur)
+
+	// Served replay of the compile workload.
+	srv := policy.NewServer(t, nil)
+	served := fleet.New(fleet.Config{N: polN, Workers: workers, Seed: seed, Table: srv})
+	for _, m := range served.Members {
+		m.Sender.Guard.RecordLatency = true
+	}
+	served.Run(polDur)
+
+	compiled, liveDecides := served.CompiledStats()
+	var lats []int64
+	for _, m := range served.Members {
+		lats = append(lats, m.Sender.Guard.Latencies...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	var meanLive, meanServed float64
+	for i := range live.Members {
+		meanLive += live.Members[i].Utility
+		meanServed += served.Members[i].Utility
+	}
+	meanLive /= float64(polN)
+	meanServed /= float64(polN)
+
+	pr := &PolicyReport{
+		FleetN:              polN,
+		DurationS:           polDur.Seconds(),
+		Seed:                seed,
+		TableEntries:        t.Len(),
+		TableBytes:          fi.Size(),
+		CompiledDecisions:   compiled,
+		LiveDecisions:       liveDecides,
+		MeanUtilityLive:     meanLive,
+		MeanUtilityCompiled: meanServed,
+		P50DecideUs:         percentile(lats, 0.50) / 1e3,
+		P99DecideUs:         percentile(lats, 0.99) / 1e3,
+		CompileStores:       stats.Stored,
+		CompileDropped:      stats.Collisions,
+	}
+	if total := compiled + liveDecides; total > 0 {
+		pr.HitRate = float64(compiled) / float64(total)
+	}
+	if meanLive != 0 {
+		pr.UtilityRatio = meanServed / meanLive
+	}
+
+	// Raw lookup cost over the table's own fingerprints (keys extracted
+	// up front so only Lookup is on the measured path).
+	fps := make([]uint64, t.Len())
+	vers := make([]uint64, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		r := t.Record(i)
+		fps[i], vers[i] = r.FP, r.Verify
+	}
+	lr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := i % len(fps)
+			if _, ok := t.Lookup(fps[j], vers[j]); !ok {
+				b.Fatal("lookup missed a stored record")
+			}
+		}
+	})
+	pr.LookupNsPerOp = lr.NsPerOp()
+	pr.LookupAllocs = lr.AllocsPerOp()
+	return pr, nil
 }
 
 func main() {
@@ -138,6 +301,13 @@ func main() {
 	})
 	fr.SendersPerSec = fleetN / (float64(fr.NsPerOp) / 1e9)
 	rep.Results = append(rep.Results, fr)
+
+	pol, err := measurePolicy(*workers, *short)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: compiled policy:", err)
+		os.Exit(1)
+	}
+	rep.Policy = pol
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,204 @@
+// Command policyc compiles, inspects, verifies, and merges compiled
+// policy tables (internal/policy).
+//
+// Usage:
+//
+//	policyc compile -o table.pol [-n 32] [-dur 30s] [-seeds 1,2,3] [-note s]
+//	    Replay fleet runs and write the captured fingerprint → action
+//	    map as a compiled table.
+//
+//	policyc inspect file.pol...
+//	    Print header identity, provenance, and record counts for tables
+//	    or sidecar miss logs.
+//
+//	policyc verify table.pol [-serve] [-n 32] [-dur 30s] [-seed 5] [-minhit 0.9]
+//	    Round-trip every record through the serving path (bit-identical
+//	    or non-zero exit). With -serve, additionally replay a fleet run
+//	    against the table and require the compiled hit rate ≥ -minhit.
+//
+//	policyc merge -o out.pol table.pol [sidecar.miss...]
+//	    Fold sidecar miss logs (or further tables) into a new table
+//	    generation; the first file wins duplicated fingerprints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"modelcc/internal/fleet"
+	"modelcc/internal/policy"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "compile":
+		err = runCompile(os.Args[2:])
+	case "inspect":
+		err = runInspect(os.Args[2:])
+	case "verify":
+		err = runVerify(os.Args[2:])
+	case "merge":
+		err = runMerge(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "policyc:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: policyc {compile|inspect|verify|merge} [flags]")
+	os.Exit(2)
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	out := fs.String("o", "policy.pol", "output table path")
+	n := fs.Int("n", 32, "fleet size of the compile workload")
+	dur := fs.Duration("dur", 30*time.Second, "virtual duration per replay")
+	seeds := fs.String("seeds", "1", "comma-separated replay seeds")
+	note := fs.String("note", "", "provenance note recorded in the header")
+	workers := fs.Int("workers", 0, "rollout workers (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	sd, err := parseSeeds(*seeds)
+	if err != nil {
+		return err
+	}
+	cc := policy.CompileConfig{
+		Fleet:    fleet.Config{N: *n, Workers: *workers},
+		Seeds:    sd,
+		Duration: *dur,
+		Note:     *note,
+	}
+	h, recs, stats, err := policy.Compile(cc)
+	if err != nil {
+		return err
+	}
+	if err := policy.WriteTable(*out, h, recs); err != nil {
+		return err
+	}
+	fmt.Printf("compiled %s: %d records from %d replay(s) (%d stores, %d collisions dropped)\n",
+		*out, stats.Unique, stats.Runs, stats.Stored, stats.Collisions)
+	return nil
+}
+
+func runInspect(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("inspect: no files")
+	}
+	for _, path := range args {
+		h, recs, err := policy.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n", path)
+		fmt.Printf("  records        %d\n", len(recs))
+		fmt.Printf("  fleet n        %d\n", h.FleetN)
+		fmt.Printf("  time quantum   %v\n", h.TimeQuantum)
+		fmt.Printf("  weight quantum %g\n", h.WeightQuantum)
+		fmt.Printf("  prior hash     %016x\n", h.PriorHash)
+		fmt.Printf("  build seed     %d\n", h.BuildSeed)
+		fmt.Printf("  created        %s\n", time.Unix(h.Created, 0).UTC().Format(time.RFC3339))
+		if h.Note != "" {
+			fmt.Printf("  note           %q\n", h.Note)
+		}
+	}
+	return nil
+}
+
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	serve := fs.Bool("serve", false, "also replay a fleet run against the table")
+	n := fs.Int("n", 32, "fleet size of the serve replay")
+	dur := fs.Duration("dur", 30*time.Second, "virtual duration of the serve replay")
+	seed := fs.Int64("seed", 1, "serve replay seed")
+	minhit := fs.Float64("minhit", 0.9, "minimum compiled hit rate for -serve")
+	workers := fs.Int("workers", 0, "rollout workers (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("verify: want exactly one table path")
+	}
+	path := fs.Arg(0)
+
+	t, err := policy.Open(path)
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	if err := t.Verify(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d records, serve path bit-identical to recorded actions\n", path, t.Len())
+
+	if !*serve {
+		return nil
+	}
+	cfg := fleet.Config{N: *n, Workers: *workers, Seed: *seed}
+	if err := t.Header().CheckPrior(cfg.ResolvedPrior()); err != nil {
+		return err
+	}
+	srv := policy.NewServer(t, nil)
+	cfg.Table = srv
+	fl := fleet.New(cfg)
+	fl.Run(*dur)
+	compiled, live := fl.CompiledStats()
+	total := compiled + live
+	if total == 0 {
+		return fmt.Errorf("serve replay made no decisions")
+	}
+	rate := float64(compiled) / float64(total)
+	fmt.Printf("serve replay: n=%d dur=%v seed=%d  hit rate %.4f (%d compiled / %d live)\n",
+		*n, *dur, *seed, rate, compiled, live)
+	if rate < *minhit {
+		return fmt.Errorf("hit rate %.4f below floor %.4f", rate, *minhit)
+	}
+	return nil
+}
+
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "", "output table path (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("merge: -o required")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("merge: no input files")
+	}
+	h, recs, err := policy.Merge(fs.Args()...)
+	if err != nil {
+		return err
+	}
+	if err := policy.WriteTable(*out, h, recs); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d file(s) into %s: %d records\n", fs.NArg(), *out, len(recs))
+	return nil
+}

@@ -46,6 +46,29 @@
 // cmd/fleetsim drives sweeps from the command line. Fleet runs are
 // bit-identical for any Workers width, like everything else here.
 //
+// # Compiled policy tables
+//
+// internal/policy turns the fleet's shared planner.PolicyCache from a
+// per-run warm cache into an offline-compiled, persistent control map.
+// policy.Compile replays fleet workloads and captures every
+// fingerprint → action pair the live planner computes into a
+// versioned flat table (a header binding the file to the model prior
+// and fingerprint quanta via policy.HashPrior, then fixed-width
+// records sorted by fingerprint); policy.Open mmaps it read-only and
+// serves lookups allocation-free in effectively O(1) (a 4096-bucket
+// prefix index over a binary search). The table is wired in as
+// fleet.Config.Table, making it rung 0 of planner.Guard's degradation
+// ladder: a covered belief is served the recorded action bit-identical
+// to what live planning would compute, an uncovered one falls through
+// to live planning and can be appended to a sidecar miss log
+// (policy.MissLog) that seeds the next compile via policy.Merge. Every
+// record carries a second, independently-seeded verification hash, so
+// a fingerprint collision is detected and treated as a miss rather
+// than served a wrong action. cmd/policyc exposes
+// compile/inspect/verify/merge; BENCH_4.json records the measured
+// serve-path numbers (hit rate, utility parity with live planning,
+// decision-latency percentiles).
+//
 // # Failure model
 //
 // The runtime degrades instead of panicking. internal/chaos supplies a
@@ -61,9 +84,9 @@
 // domain; internal/belief recovers from likelihood collapse by
 // deterministically re-seeding from the prior (belief.Config.Recover);
 // and internal/planner bounds every decision with planner.Guard's
-// degradation ladder — live Decide within the budget, else the
-// quantized PolicyCache entry, else the last safe action, else sleep
-// one grid step. cmd/soak runs the whole stack through the standard
+// degradation ladder — the compiled policy table when one is wired,
+// else live Decide within the budget, else the quantized PolicyCache
+// entry, else the last safe action, else sleep one grid step. cmd/soak runs the whole stack through the standard
 // fault menu and records the invariants in BENCH_3.json; see README.md
 // ("Failure model").
 //

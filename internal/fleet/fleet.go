@@ -88,6 +88,14 @@ type Config struct {
 	// Workers is the shared rollout pool's width: 0 means GOMAXPROCS,
 	// 1 forces the serial path. Output is bit-identical for any value.
 	Workers int
+	// Table, when non-nil, is an offline-compiled policy (a
+	// policy.Server over a compiled table) probed before any live
+	// planning. It is shared read-only across all members: each member
+	// gets a synchronous planner.Guard whose rung 0 is this table,
+	// whose warm fallback is the fleet's shared PolicyCache, and whose
+	// misses are reported back to the table's sidecar log for the next
+	// compile.
+	Table planner.CompiledPolicy
 	// NoSharedCache disables the fleet-wide policy cache (for the
 	// ablation benchmark; every member then plans from scratch).
 	NoSharedCache bool
@@ -348,7 +356,15 @@ func New(cfg Config) *Fleet {
 	for i := 0; i < cfg.N; i++ {
 		b := belief.NewExact(states, bcfg)
 		s := core.NewSender(b, pcfg)
-		s.Cache = f.Cache
+		if cfg.Table != nil {
+			// Compiled serving path: table → warm cache → live, all
+			// synchronous (Budget 0 keeps the DES loop deterministic).
+			g := planner.NewGuard(0, f.Cache)
+			g.Compiled = cfg.Table
+			s.Guard = g
+		} else {
+			s.Cache = f.Cache
+		}
 		// A solo sender's 32-packet burst cap is harmless; in a fleet a
 		// sender whose posterior momentarily says "link free" would pour
 		// 32 packets into the shared buffer before its next re-decision,
@@ -431,13 +447,40 @@ func (f *Fleet) Delivered(flow packet.FlowID) int {
 	return f.Recv.Received[flow]
 }
 
-// CacheStats reports the shared policy cache's hit/miss counters (zeros
-// when the cache is disabled).
+// CacheStats reports the shared policy cache's Decide-path hit/miss
+// counters (zeros when the cache is disabled). Guard fallback probes
+// are counted separately (PolicyCache.ProbeHits/ProbeMisses), so this
+// hit rate no longer double-counts budget-blown decisions.
 func (f *Fleet) CacheStats() (hits, misses int) {
 	if f.Cache == nil {
 		return 0, 0
 	}
 	return f.Cache.Hits, f.Cache.Misses
+}
+
+// CompiledStats reports, summed over members, how many decisions the
+// compiled policy table served (Guard rung 0) versus how many fell
+// through to live planning. Zeros when no table is wired.
+func (f *Fleet) CompiledStats() (compiled, live int64) {
+	for _, m := range f.Members {
+		if g := m.Sender.Guard; g != nil {
+			compiled += g.CompiledHits
+			live += g.Live
+		}
+	}
+	return compiled, live
+}
+
+// ResolvedPrior returns the prior the fleet's members would start from
+// under this configuration, with all defaults applied — the identity
+// the compiled-policy table format records (via policy.HashPrior) so a
+// table is never served against a model it was not compiled for.
+func (c Config) ResolvedPrior() model.Prior {
+	c = c.withDefaults()
+	if c.PriorOverride != nil {
+		return *c.PriorOverride
+	}
+	return Prior(c.LinkRate, c.BufferCapBits, c.N)
 }
 
 // Member adapts one core.Sender to the shared loop: it injects the

@@ -1,8 +1,7 @@
 package planner
 
 import (
-	"encoding/binary"
-	"hash/fnv"
+	"math"
 	"time"
 
 	"modelcc/internal/belief"
@@ -24,12 +23,45 @@ import (
 // that members in recurring near-identical situations — same posterior
 // shape, same queue, phases within a few tens of milliseconds — share
 // one computed decision instead of each paying for its own.
+//
+// Every entry carries a secondary verification hash alongside its
+// primary 64-bit fingerprint: a lookup whose fingerprint matches but
+// whose verification hash does not is a detected collision and is
+// treated as a miss, never served (the same discipline the persistent
+// compiled tables of internal/policy apply at multi-million-entry
+// scale, where 64-bit collisions stop being ignorable).
+//
+// The cache is also the offline policy compiler's capture point: set
+// OnStore to observe every fingerprint → decision pair a run computes
+// (internal/policy replays fleet runs with this hook to build its
+// persistent tables), or call Snapshot for the resident entries.
 type PolicyCache struct {
 	entries map[uint64]cachedDecision
-	// Hits and Misses count lookups, for the ablation benchmark.
+	// ring holds the resident fingerprints in insertion order; hand is
+	// the clock-hand eviction cursor over it.
+	ring []uint64
+	hand int
+
+	// Hits and Misses count Decide-path lookups (every miss is followed
+	// by a live Decide that repopulates the cache), for the ablation
+	// benchmark. Probes via Lookup are counted separately in ProbeHits
+	// and ProbeMisses: Guard uses Lookup as a fallback rung, and mixing
+	// its probe traffic into the Decide counters would double-count
+	// every budget-blown decision and skew the reported hit rate.
 	Hits, Misses int
-	// MaxEntries bounds memory; the cache resets when full (decisions
-	// are cheap to recompute relative to tracking LRU order).
+	// ProbeHits and ProbeMisses count Lookup probes (Guard's fallback
+	// rung and any other store-nothing consultation).
+	ProbeHits, ProbeMisses int
+	// Collisions counts lookups whose fingerprint matched a resident
+	// entry but whose verification hash did not — detected 64-bit
+	// collisions, served as misses instead of wrong actions.
+	Collisions int
+	// Evictions counts entries displaced by the clock hand.
+	Evictions int
+	// MaxEntries bounds memory. When the cache is full an insertion
+	// evicts one entry chosen by a clock hand with second chance
+	// (recently hit entries are skipped once), so the working set
+	// survives the boundary instead of the whole map being discarded.
 	MaxEntries int
 	// TimeQuantum, when positive, buckets every rebased duration in
 	// the fingerprint. Coarser buckets raise the hit rate at the price
@@ -40,12 +72,32 @@ type PolicyCache struct {
 	// WeightQuantum, when positive, buckets hypothesis weights
 	// (default 1e-6).
 	WeightQuantum float64
+	// OnStore, when non-nil, observes every entry the cache stores
+	// (including re-stores after eviction). The offline policy compiler
+	// sets it to capture the full fingerprint → action sweep of a run
+	// even when the resident set is smaller.
+	OnStore func(Entry)
 }
 
 type cachedDecision struct {
+	verify  uint64
 	sendNow bool
+	used    bool
 	delta   time.Duration // WakeAt - now
 	gain    float64
+}
+
+// Entry is one fingerprint → action pair, the unit the offline policy
+// compiler (internal/policy) extracts from a cache.
+type Entry struct {
+	// FP is the primary FNV-1a fingerprint; Verify is the secondary
+	// verification hash over the same bytes.
+	FP, Verify uint64
+	// SendNow, Delta and Gain are the memoized action: Delta is
+	// WakeAt − now at the decision instant.
+	SendNow bool
+	Delta   time.Duration
+	Gain    float64
 }
 
 // NewPolicyCache returns an empty cache bounded to maxEntries (<= 0
@@ -57,50 +109,71 @@ func NewPolicyCache(maxEntries int) *PolicyCache {
 	return &PolicyCache{entries: make(map[uint64]cachedDecision), MaxEntries: maxEntries}
 }
 
-// Decide is a caching wrapper around Decide: on a fingerprint hit it
-// returns the memoized action rebased to `now`.
-func (pc *PolicyCache) Decide(sup []belief.Hypothesis, pending []model.Send, now time.Duration, seq int64, cfg Config) Decision {
+func (pc *PolicyCache) quanta() (time.Duration, float64) {
 	wq := pc.WeightQuantum
 	if wq <= 0 {
 		wq = 1e-6
 	}
-	fp := fingerprint(sup, pending, now, pc.TimeQuantum, wq)
+	return pc.TimeQuantum, wq
+}
+
+// Len reports the resident entry count.
+func (pc *PolicyCache) Len() int { return len(pc.entries) }
+
+// Decide is a caching wrapper around Decide: on a fingerprint hit it
+// returns the memoized action rebased to `now`.
+func (pc *PolicyCache) Decide(sup []belief.Hypothesis, pending []model.Send, now time.Duration, seq int64, cfg Config) Decision {
+	tq, wq := pc.quanta()
+	fp, ver := Fingerprint(sup, pending, now, tq, wq)
 	if d, ok := pc.entries[fp]; ok {
-		pc.Hits++
-		return Decision{
-			SendNow:    d.sendNow,
-			WakeAt:     now + d.delta,
-			Gain:       d.gain,
-			Candidates: 0,
-			Support:    len(sup),
+		if d.verify == ver {
+			pc.Hits++
+			if !d.used {
+				d.used = true
+				pc.entries[fp] = d
+			}
+			return Decision{
+				SendNow:    d.sendNow,
+				WakeAt:     now + d.delta,
+				Gain:       d.gain,
+				Candidates: 0,
+				Support:    len(sup),
+			}
 		}
+		// Fingerprint collision: the resident entry belongs to a
+		// different belief. Serving it would be a silent wrong action;
+		// recompute instead (the insert below overwrites the slot).
+		pc.Collisions++
 	}
 	pc.Misses++
 	d := Decide(sup, pending, now, seq, cfg)
-	if len(pc.entries) >= pc.MaxEntries {
-		pc.entries = make(map[uint64]cachedDecision)
-	}
-	pc.entries[fp] = cachedDecision{sendNow: d.SendNow, delta: d.WakeAt - now, gain: d.Gain}
+	pc.insert(fp, cachedDecision{verify: ver, sendNow: d.SendNow, delta: d.WakeAt - now, gain: d.Gain})
 	return d
 }
 
 // Lookup reports the memoized decision for the given belief, rebased to
 // now, without computing anything on a miss. The degradation ladder
-// (Guard) uses it as the first fallback rung when a live Decide blows
-// its budget: a quantized near-match of the current situation is a far
-// better action than a blind one.
+// (Guard) uses it as a fallback rung when a live Decide blows its
+// budget: a quantized near-match of the current situation is a far
+// better action than a blind one. Probes are counted in ProbeHits and
+// ProbeMisses, never in the Decide-path Hits/Misses.
 func (pc *PolicyCache) Lookup(sup []belief.Hypothesis, pending []model.Send, now time.Duration) (Decision, bool) {
-	wq := pc.WeightQuantum
-	if wq <= 0 {
-		wq = 1e-6
-	}
-	fp := fingerprint(sup, pending, now, pc.TimeQuantum, wq)
+	tq, wq := pc.quanta()
+	fp, ver := Fingerprint(sup, pending, now, tq, wq)
 	d, ok := pc.entries[fp]
+	if ok && d.verify != ver {
+		pc.Collisions++
+		ok = false
+	}
 	if !ok {
-		pc.Misses++
+		pc.ProbeMisses++
 		return Decision{}, false
 	}
-	pc.Hits++
+	pc.ProbeHits++
+	if !d.used {
+		d.used = true
+		pc.entries[fp] = d
+	}
 	return Decision{
 		SendNow: d.sendNow,
 		WakeAt:  now + d.delta,
@@ -113,28 +186,111 @@ func (pc *PolicyCache) Lookup(sup []belief.Hypothesis, pending []model.Send, now
 // background Decide) under the belief's fingerprint at the decision
 // instant.
 func (pc *PolicyCache) Store(sup []belief.Hypothesis, pending []model.Send, now time.Duration, d Decision) {
-	wq := pc.WeightQuantum
-	if wq <= 0 {
-		wq = 1e-6
-	}
-	fp := fingerprint(sup, pending, now, pc.TimeQuantum, wq)
-	if len(pc.entries) >= pc.MaxEntries {
-		pc.entries = make(map[uint64]cachedDecision)
-	}
-	pc.entries[fp] = cachedDecision{sendNow: d.SendNow, delta: d.WakeAt - now, gain: d.Gain}
+	tq, wq := pc.quanta()
+	fp, ver := Fingerprint(sup, pending, now, tq, wq)
+	pc.insert(fp, cachedDecision{verify: ver, sendNow: d.SendNow, delta: d.WakeAt - now, gain: d.Gain})
 }
 
-// fingerprint hashes the support and pending sends with all times
-// rebased to now, times bucketed by tq (0 = exact) and weights by wq.
-// Sequence numbers are deliberately excluded: the policy depends on the
-// network posterior, not on which packet is next.
-func fingerprint(sup []belief.Hypothesis, pending []model.Send, now time.Duration, tq time.Duration, wq float64) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
-	putU := func(v uint64) {
-		binary.LittleEndian.PutUint64(b[:], v)
-		h.Write(b[:])
+// insert places an entry, evicting at most one resident entry by clock
+// hand when the cache is full. A full sweep of the hand clears second
+// chances; the first entry found unused since its last insertion or hit
+// is displaced. The working set therefore survives the MaxEntries
+// boundary — the old wholesale reset periodically collapsed the hit
+// rate to zero mid-run.
+func (pc *PolicyCache) insert(fp uint64, cd cachedDecision) {
+	if old, ok := pc.entries[fp]; ok {
+		// Same fingerprint already resident (re-store or collision
+		// overwrite): replace in place, keep its ring slot and
+		// recency.
+		cd.used = old.used
+		pc.entries[fp] = cd
+		pc.notify(fp, cd)
+		return
 	}
+	if len(pc.entries) >= pc.MaxEntries && len(pc.ring) > 0 {
+		// One pass grants second chances; the bound guarantees an
+		// eviction even if every entry was recently used.
+		for i := 0; ; i++ {
+			victim := pc.ring[pc.hand]
+			e := pc.entries[victim]
+			if e.used && i < len(pc.ring) {
+				e.used = false
+				pc.entries[victim] = e
+				pc.hand = (pc.hand + 1) % len(pc.ring)
+				continue
+			}
+			delete(pc.entries, victim)
+			pc.Evictions++
+			pc.ring[pc.hand] = fp
+			pc.hand = (pc.hand + 1) % len(pc.ring)
+			break
+		}
+	} else {
+		pc.ring = append(pc.ring, fp)
+	}
+	pc.entries[fp] = cd
+	pc.notify(fp, cd)
+}
+
+func (pc *PolicyCache) notify(fp uint64, cd cachedDecision) {
+	if pc.OnStore != nil {
+		pc.OnStore(Entry{FP: fp, Verify: cd.verify, SendNow: cd.sendNow, Delta: cd.delta, Gain: cd.gain})
+	}
+}
+
+// Snapshot returns the resident entries. Order is unspecified (callers
+// that need determinism sort by FP, as the policy compiler does).
+func (pc *PolicyCache) Snapshot() []Entry {
+	out := make([]Entry, 0, len(pc.entries))
+	for fp, cd := range pc.entries {
+		out = append(out, Entry{FP: fp, Verify: cd.verify, SendNow: cd.sendNow, Delta: cd.delta, Gain: cd.gain})
+	}
+	return out
+}
+
+// FNV-64 constants for the inlined dual hash below.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	// verifyOffset64 seeds the secondary hash away from the primary's
+	// basis (golden-ratio constant), so the two streams decorrelate
+	// from the first byte.
+	verifyOffset64 = fnvOffset64 ^ 0x9E3779B97F4A7C15
+)
+
+// fpState accumulates the primary (FNV-1a) and secondary (FNV-1,
+// reseeded) hashes over one byte stream, allocation-free.
+type fpState struct{ a, b uint64 }
+
+func (h *fpState) init() { h.a, h.b = fnvOffset64, verifyOffset64 }
+
+func (h *fpState) write64(v uint64) {
+	a, b := h.a, h.b
+	for i := 0; i < 8; i++ {
+		c := uint64(byte(v))
+		v >>= 8
+		a = (a ^ c) * fnvPrime64 // FNV-1a: xor then multiply
+		b = b*fnvPrime64 ^ c     // FNV-1: multiply then xor
+	}
+	h.a, h.b = a, b
+}
+
+// Fingerprint hashes the support and pending sends with all times
+// rebased to now, times bucketed by tq (0 = exact) and weights
+// round-to-nearest by wq. Sequence numbers are deliberately excluded:
+// the policy depends on the network posterior, not on which packet is
+// next. It returns the primary 64-bit fingerprint and an independent
+// secondary verification hash over the same bytes; a table entry is
+// only served when both match, so a primary collision degrades to a
+// miss instead of a wrong action.
+//
+// The quantized fingerprint is the shared key language of the warm
+// PolicyCache, the Guard's fallback probes, and internal/policy's
+// offline-compiled tables — a table compiled under one (tq, wq) is
+// only probed with the same quanta (the table header records them).
+func Fingerprint(sup []belief.Hypothesis, pending []model.Send, now time.Duration, tq time.Duration, wq float64) (fp, verify uint64) {
+	var h fpState
+	h.init()
 	// Times far beyond the planning horizon are behaviourally
 	// equivalent ("never"); clamping them keeps e.g. a no-cross-traffic
 	// hypothesis (NextCross = Forever) fingerprint-stable across wakes.
@@ -156,17 +312,21 @@ func fingerprint(sup []belief.Hypothesis, pending []model.Send, now time.Duratio
 			}
 			d -= r
 		}
-		putU(uint64(int64(d)))
+		h.write64(uint64(int64(d)))
 	}
-	putU(uint64(len(sup)))
+	h.write64(uint64(len(sup)))
 	for _, hyp := range sup {
 		s := &hyp.S
-		putU(uint64(s.ParamsID))
-		putU(uint64(int64(hyp.W / wq)))
+		h.write64(uint64(s.ParamsID))
+		// Round-to-nearest, not truncation: the quotient of two nearby
+		// floats is inexact, and truncating it lands weights equal to
+		// within one ulp in adjacent buckets, splitting entries that
+		// should share one.
+		h.write64(uint64(int64(math.Round(hyp.W / wq))))
 		if s.PingerOn {
-			putU(1)
+			h.write64(1)
 		} else {
-			putU(0)
+			h.write64(0)
 		}
 		putD(s.NextCross - now)
 		if s.P.MeanSwitch <= 0 || s.SwitchTick <= 0 {
@@ -177,31 +337,31 @@ func fingerprint(sup []belief.Hypothesis, pending []model.Send, now time.Duratio
 			putD(s.NextToggle - now)
 		}
 		if s.Serving {
-			putU(1)
+			h.write64(1)
 			putD(s.ServiceDone - now)
-			putU(uint64(s.InService.Bits))
+			h.write64(uint64(s.InService.Bits))
 			if s.InService.Own {
-				putU(1)
+				h.write64(1)
 			} else {
-				putU(0)
+				h.write64(0)
 			}
 		} else {
-			putU(0)
+			h.write64(0)
 		}
-		putU(uint64(s.QLen()))
+		h.write64(uint64(s.QLen()))
 		for _, q := range s.Queued() {
-			putU(uint64(q.Bits))
+			h.write64(uint64(q.Bits))
 			if q.Own {
-				putU(1)
+				h.write64(1)
 			} else {
-				putU(0)
+				h.write64(0)
 			}
 		}
 	}
-	putU(uint64(len(pending)))
+	h.write64(uint64(len(pending)))
 	for _, snd := range pending {
 		putD(snd.At - now)
-		putU(uint64(snd.Bits))
+		h.write64(uint64(snd.Bits))
 	}
-	return h.Sum64()
+	return h.a, h.b
 }

@@ -7,6 +7,22 @@ import (
 	"modelcc/internal/model"
 )
 
+// CompiledPolicy is an offline-compiled, read-only belief → action map:
+// §3.3's policy "computed in advance" made persistent. internal/policy
+// implements it over an mmap-ed flat table; the Guard probes it before
+// any live planning (a table hit is the O(1) production serving path)
+// and feeds live decisions the table missed back to it, seeding the
+// next compile.
+type CompiledPolicy interface {
+	// Probe returns the compiled action for this belief, rebased to
+	// now, or ok = false on a table miss (including a detected
+	// fingerprint collision, which must be treated as a miss).
+	Probe(sup []belief.Hypothesis, pending []model.Send, now time.Duration) (Decision, bool)
+	// RecordMiss notes a live decision the table could not serve, so
+	// the next compile covers the situation.
+	RecordMiss(sup []belief.Hypothesis, pending []model.Send, now time.Duration, d Decision)
+}
+
 // Guard bounds how long one decision may take. The planner's expected
 // wake-to-wake latency is milliseconds, but a chaotic run can hand it a
 // pathological posterior (a blackout-widened support, a reseeded prior)
@@ -14,10 +30,14 @@ import (
 // path a late decision is a missed transmission opportunity, and the
 // event loop behind it backs up.
 //
-// Guard.Decide runs the live Decide on a background goroutine against a
-// deep-cloned snapshot of the belief and races it against Budget. On
-// timeout it walks the degradation ladder:
+// Guard.Decide first probes the compiled policy table, when one is
+// wired: a hit answers in O(1) without touching the live planner at
+// all. On a table miss it runs the live Decide on a background
+// goroutine against a deep-cloned snapshot of the belief and races it
+// against Budget. On timeout it walks the degradation ladder:
 //
+//  0. the compiled table (Compiled) — an offline-verified action for
+//     exactly this quantized situation;
 //  1. live Decide, if it returns within Budget (the common case);
 //  2. the PolicyCache — a quantized near-match of the current situation
 //     computed on some earlier wake;
@@ -36,7 +56,8 @@ import (
 // goroutine.
 //
 // Guard is not safe for concurrent use; like Sender it belongs to one
-// driver goroutine.
+// driver goroutine. A read-only CompiledPolicy may be shared by many
+// Guards (the fleet shares one table across all members).
 type Guard struct {
 	// Budget is the per-decision deadline. Zero or negative means no
 	// deadline: Decide runs synchronously (through Cache when set).
@@ -44,17 +65,30 @@ type Guard struct {
 	// Cache, when non-nil, is both the timeout fallback (rung 2) and the
 	// store for background results.
 	Cache *PolicyCache
+	// Compiled, when non-nil, is the offline-compiled policy table,
+	// probed before any live planning (the table is immutable during a
+	// run, so the fallback ladder does not probe it a second time).
+	// Live decisions it missed are reported back via RecordMiss.
+	Compiled CompiledPolicy
 
 	// Live counts decisions served by the live planner within budget;
+	// CompiledHits, decisions served by the compiled table;
 	// CacheHits, fallbacks served from the cache; SafeFallbacks,
 	// decisions that fell to rung 3/4; Timeouts, budget expiries;
 	// Overlaps, calls that arrived while a prior Decide was still
 	// cooking.
 	Live          int64
+	CompiledHits  int64
 	CacheHits     int64
 	SafeFallbacks int64
 	Timeouts      int64
 	Overlaps      int64
+
+	// RecordLatency, when true, appends each Decide call's wall-clock
+	// duration in nanoseconds to Latencies — benchmark instrumentation
+	// for the serving-path tail (p50/p99); leave false in production.
+	RecordLatency bool
+	Latencies     []int64
 
 	inflight      chan guardResult
 	lastSafeDelta time.Duration
@@ -78,6 +112,18 @@ func NewGuard(budget time.Duration, cache *PolicyCache) *Guard {
 // Decide returns an action for the packet with sequence number seq
 // within roughly Budget, degrading per the ladder above.
 func (g *Guard) Decide(sup []belief.Hypothesis, pending []model.Send, now time.Duration, seq int64, cfg Config) Decision {
+	if g.RecordLatency {
+		start := time.Now()
+		defer func() { g.Latencies = append(g.Latencies, time.Since(start).Nanoseconds()) }()
+	}
+	// Rung 0: the compiled table answers without planning at all.
+	if g.Compiled != nil {
+		if d, ok := g.Compiled.Probe(sup, pending, now); ok {
+			g.CompiledHits++
+			g.noteSafe(d, now)
+			return d
+		}
+	}
 	if g.Budget <= 0 {
 		var d Decision
 		if g.Cache != nil {
@@ -86,6 +132,9 @@ func (g *Guard) Decide(sup []belief.Hypothesis, pending []model.Send, now time.D
 			d = Decide(sup, pending, now, seq, cfg)
 		}
 		g.Live++
+		if g.Compiled != nil {
+			g.Compiled.RecordMiss(sup, pending, now, d)
+		}
 		g.noteSafe(d, now)
 		return d
 	}
@@ -132,6 +181,9 @@ func (g *Guard) Decide(sup []belief.Hypothesis, pending []model.Send, now time.D
 		g.inflight = nil
 		g.absorb(res)
 		g.Live++
+		if g.Compiled != nil {
+			g.Compiled.RecordMiss(sup, pending, now, res.d)
+		}
 		g.noteSafe(res.d, now)
 		return res.d
 	case <-timer.C:

@@ -104,3 +104,93 @@ func TestGuardCacheSeededByStraggler(t *testing.T) {
 		t.Fatalf("cached %+v != live %+v", cached, want)
 	}
 }
+
+// fakeCompiled is a test CompiledPolicy: a fixed decision (rebased to
+// now) when hit is true, and a log of recorded misses.
+type fakeCompiled struct {
+	hit    bool
+	delta  time.Duration
+	send   bool
+	probes int
+	misses []Decision
+}
+
+func (f *fakeCompiled) Probe(sup []belief.Hypothesis, pending []model.Send, now time.Duration) (Decision, bool) {
+	f.probes++
+	if !f.hit {
+		return Decision{}, false
+	}
+	return Decision{SendNow: f.send, WakeAt: now + f.delta, Support: len(sup)}, true
+}
+
+func (f *fakeCompiled) RecordMiss(sup []belief.Hypothesis, pending []model.Send, now time.Duration, d Decision) {
+	f.misses = append(f.misses, d)
+}
+
+// TestGuardCompiledRungServes: a compiled-table hit answers without
+// touching the live planner, on both the synchronous and the budgeted
+// path.
+func TestGuardCompiledRungServes(t *testing.T) {
+	sup := guardSupport()
+	for _, budget := range []time.Duration{0, 30 * time.Second} {
+		fc := &fakeCompiled{hit: true, delta: 250 * time.Millisecond}
+		g := NewGuard(budget, nil)
+		g.Compiled = fc
+		now := 5 * time.Second
+		d := g.Decide(sup, nil, now, 0, Config{})
+		if d.SendNow || d.WakeAt != now+250*time.Millisecond {
+			t.Fatalf("budget=%v: compiled decision not served: %+v", budget, d)
+		}
+		if g.CompiledHits != 1 || g.Live != 0 {
+			t.Fatalf("budget=%v: counters compiled=%d live=%d, want 1/0", budget, g.CompiledHits, g.Live)
+		}
+		if len(fc.misses) != 0 {
+			t.Fatalf("budget=%v: hit recorded as miss", budget)
+		}
+	}
+}
+
+// TestGuardCompiledMissFallsToLiveAndRecords: a table miss falls
+// through to live planning (identical decision to the unguarded
+// planner) and the live result is fed back via RecordMiss.
+func TestGuardCompiledMissFallsToLiveAndRecords(t *testing.T) {
+	sup := guardSupport()
+	fc := &fakeCompiled{hit: false}
+	g := NewGuard(0, nil)
+	g.Compiled = fc
+	got := g.Decide(sup, nil, 0, 0, Config{})
+	want := Decide(sup, nil, 0, 0, Config{})
+	if got.SendNow != want.SendNow || got.WakeAt != want.WakeAt || got.Gain != want.Gain {
+		t.Fatalf("miss path decision %+v != live %+v", got, want)
+	}
+	if fc.probes != 1 || len(fc.misses) != 1 {
+		t.Fatalf("probes=%d misses=%d, want 1/1", fc.probes, len(fc.misses))
+	}
+	if m := fc.misses[0]; m.SendNow != want.SendNow || m.WakeAt != want.WakeAt {
+		t.Fatalf("recorded miss %+v != served decision %+v", m, want)
+	}
+	if g.Live != 1 || g.CompiledHits != 0 {
+		t.Fatalf("counters live=%d compiled=%d, want 1/0", g.Live, g.CompiledHits)
+	}
+}
+
+// TestGuardLatencySampling: RecordLatency captures one sample per
+// Decide on the serving path.
+func TestGuardLatencySampling(t *testing.T) {
+	fc := &fakeCompiled{hit: true, delta: 100 * time.Millisecond}
+	g := NewGuard(0, nil)
+	g.Compiled = fc
+	g.RecordLatency = true
+	sup := guardSupport()
+	for i := 0; i < 3; i++ {
+		g.Decide(sup, nil, time.Duration(i)*time.Second, 0, Config{})
+	}
+	if len(g.Latencies) != 3 {
+		t.Fatalf("latency samples = %d, want 3", len(g.Latencies))
+	}
+	for _, ns := range g.Latencies {
+		if ns < 0 {
+			t.Fatalf("negative latency sample %d", ns)
+		}
+	}
+}

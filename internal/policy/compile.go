@@ -1,0 +1,119 @@
+package policy
+
+import (
+	"fmt"
+	"time"
+
+	"modelcc/internal/fleet"
+	"modelcc/internal/planner"
+)
+
+// CompileConfig describes one offline compile: the fleet workload
+// whose belief trajectories sweep the reachable space, and the replay
+// seeds (one fleet run each — more seeds, broader coverage).
+type CompileConfig struct {
+	// Fleet is the workload template; Seed is overridden per replay.
+	// The serving fleet must use the same configuration (the prior
+	// hash in the table header enforces the model identity).
+	Fleet fleet.Config
+	// Seeds are the replay seeds (default: {1}).
+	Seeds []int64
+	// Duration is each replay's virtual duration (default 30 s).
+	Duration time.Duration
+	// Note is free-form provenance recorded in the table header.
+	Note string
+	// CacheEntries bounds the capture cache per replay (default 1<<20;
+	// capture uses the cache's OnStore hook, so even an overflowing
+	// cache loses no coverage — only recompute time).
+	CacheEntries int
+}
+
+// CompileStats reports what a compile saw.
+type CompileStats struct {
+	// Runs is the number of fleet replays.
+	Runs int
+	// Stored counts fingerprint→action stores observed across replays
+	// (including duplicates between replays).
+	Stored int
+	// Unique is the number of distinct fingerprints kept — the table
+	// size.
+	Unique int
+	// Collisions counts captures dropped because their fingerprint was
+	// already held by a different belief (different verification
+	// hash); those situations stay on the live-planning path.
+	Collisions int
+}
+
+// Compile replays the fleet workload once per seed, capturing every
+// fingerprint → action pair the runs compute via the shared
+// PolicyCache's OnStore hook, and returns the deduplicated, sorted
+// record set with a header binding it to the workload's resolved prior
+// and fingerprint quanta. Write it with WriteTable, serve it with
+// Open + NewServer.
+func Compile(cfg CompileConfig) (Header, []Record, CompileStats, error) {
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = []int64{1}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 1 << 20
+	}
+
+	var stats CompileStats
+	seen := make(map[uint64]Record)
+	var tq time.Duration
+	var wq float64
+	var fleetN uint32
+
+	for _, seed := range cfg.Seeds {
+		fc := cfg.Fleet
+		fc.Seed = seed
+		fc.NoSharedCache = false
+		fc.CacheEntries = cfg.CacheEntries
+		fc.Table = nil // the compile must plan live, not serve itself
+		fl := fleet.New(fc)
+		if fl.Cache == nil {
+			return Header{}, nil, stats, fmt.Errorf("policy: compile fleet has no shared cache")
+		}
+		tq = fl.Cache.TimeQuantum
+		wq = fl.Cache.WeightQuantum
+		if wq <= 0 {
+			wq = 1e-6 // the cache's documented default quantum
+		}
+		fleetN = uint32(fl.Cfg.N)
+		fl.Cache.OnStore = func(e planner.Entry) {
+			stats.Stored++
+			if prev, ok := seen[e.FP]; ok {
+				if prev.Verify != e.Verify {
+					stats.Collisions++
+				}
+				return
+			}
+			seen[e.FP] = Record{FP: e.FP, Verify: e.Verify, SendNow: e.SendNow, Delta: e.Delta, Gain: e.Gain}
+		}
+		fl.Run(cfg.Duration)
+		stats.Runs++
+	}
+
+	recs := make([]Record, 0, len(seen))
+	for _, r := range seen {
+		recs = append(recs, r)
+	}
+	sortRecords(recs)
+	stats.Unique = len(recs)
+
+	h := Header{
+		Version:       Version,
+		FleetN:        fleetN,
+		Records:       uint64(len(recs)),
+		TimeQuantum:   tq,
+		WeightQuantum: wq,
+		PriorHash:     HashPrior(cfg.Fleet.ResolvedPrior(), tq, wq),
+		BuildSeed:     cfg.Seeds[0],
+		Created:       time.Now().Unix(),
+		Note:          cfg.Note,
+	}
+	return h, recs, stats, nil
+}

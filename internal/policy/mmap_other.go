@@ -1,0 +1,15 @@
+//go:build !unix
+
+package policy
+
+import "os"
+
+// mapFile falls back to reading the whole file on platforms without a
+// usable mmap: same contract, the bytes are simply heap-resident.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

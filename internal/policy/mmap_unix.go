@@ -1,0 +1,37 @@
+//go:build unix
+
+package policy
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the whole file read-only. The mapping outlives the file
+// descriptor (closed before returning); the returned release function
+// unmaps. Empty files map to an empty slice without a syscall (mmap of
+// length 0 is an error on Linux).
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("policy: %s too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("policy: mmap %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

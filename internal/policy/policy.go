@@ -1,0 +1,183 @@
+// Package policy promotes the planner's warm PolicyCache to an
+// offline-compiled, persistent control map — §3.3 taken literally: "for
+// a particular model and distribution of possible states, there will be
+// a policy that can be computed in advance".
+//
+// The package has three halves:
+//
+//   - A compiler (Compile) that sweeps the reachable belief space by
+//     replaying fleet runs (internal/fleet is a ready-made generator of
+//     realistic belief trajectories) and records every quantized belief
+//     fingerprint → {action, delta, gain, verify-hash} pair the runs
+//     compute.
+//
+//   - A versioned, mmap-able flat table (WriteTable / Open): a
+//     fixed-width header carrying the model identity (a hash of the
+//     resolved prior), the fingerprint quantum settings, and build
+//     provenance, followed by fixed-width records sorted by
+//     fingerprint. Lookup is a bucket-narrowed binary search —
+//     O(log n) worst case, O(1) in expectation — with zero allocation,
+//     so a multi-million-entry table serves decisions at memory speed.
+//
+//   - A serving side (Server, implementing planner.CompiledPolicy)
+//     that loads the table read-only, answers Guard rung-0 probes, and
+//     appends the fingerprints it could not serve — together with the
+//     live decision that covered for them — to a sidecar miss log
+//     (MissLog). Merging the table with its sidecars (Merge) seeds the
+//     next compile, closing the loop: every production miss makes the
+//     next table bigger.
+//
+// Safety rules, enforced rather than assumed:
+//
+//   - Every record carries a secondary verification hash computed over
+//     the same bytes as the primary fingerprint by an independent
+//     hash; a lookup is served only when both match, so a 64-bit
+//     fingerprint collision degrades to a miss (live planning), never
+//     a wrong action.
+//   - The header's PriorHash binds a table to the resolved model prior
+//     and quantum settings it was compiled under; Header.CheckPrior
+//     refuses to serve a table against a model it was not compiled
+//     for, and Merge refuses to combine incompatible files.
+//   - The whole record region is checksummed; Open refuses a corrupt
+//     or truncated file.
+package policy
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"time"
+
+	"modelcc/internal/model"
+)
+
+// Version is the table format version this package reads and writes.
+const Version = 1
+
+// Magic values distinguishing the two file kinds sharing the header
+// layout.
+var (
+	magicTable   = [8]byte{'M', 'C', 'P', 'O', 'L', 'T', 'B', '1'}
+	magicSidecar = [8]byte{'M', 'C', 'P', 'O', 'L', 'S', 'C', '1'}
+)
+
+const (
+	headerSize = 104
+	recordSize = 40
+	noteSize   = 32
+
+	flagSendNow = 1 << 0
+)
+
+// Header identifies and versions a compiled table (or sidecar miss
+// log): which model and quanta the fingerprints were computed under,
+// and where the table came from.
+type Header struct {
+	// Version is the format version (see Version).
+	Version uint32
+	// FleetN is the fleet size of the compile workload (provenance).
+	FleetN uint32
+	// Records is the record count (0 in sidecar headers; the reader
+	// derives the count from the file size).
+	Records uint64
+	// TimeQuantum and WeightQuantum are the fingerprint quanta every
+	// record's key was computed with; probes must use the same.
+	TimeQuantum   time.Duration
+	WeightQuantum float64
+	// PriorHash binds the table to the resolved model prior (and the
+	// quanta) it was compiled under; see HashPrior.
+	PriorHash uint64
+	// BuildSeed is the first replay seed of the compile (provenance).
+	BuildSeed int64
+	// Created is the build time in Unix seconds (provenance; informational
+	// only — compatibility is decided by Version and PriorHash).
+	Created int64
+	// Note is a free-form provenance string (truncated to 31 bytes).
+	Note string
+}
+
+// CheckPrior reports whether a belief fingerprinted under the given
+// resolved prior and this header's quanta may be served from this
+// table.
+func (h Header) CheckPrior(pr model.Prior) error {
+	if got := HashPrior(pr, h.TimeQuantum, h.WeightQuantum); got != h.PriorHash {
+		return fmt.Errorf("policy: table compiled for prior %016x, serving prior is %016x (model or quanta mismatch)", h.PriorHash, got)
+	}
+	return nil
+}
+
+// compatible reports whether two headers' records may be merged.
+func (h Header) compatible(o Header) error {
+	switch {
+	case h.Version != o.Version:
+		return fmt.Errorf("policy: version %d vs %d", h.Version, o.Version)
+	case h.TimeQuantum != o.TimeQuantum:
+		return fmt.Errorf("policy: time quantum %v vs %v", h.TimeQuantum, o.TimeQuantum)
+	case h.WeightQuantum != o.WeightQuantum:
+		return fmt.Errorf("policy: weight quantum %g vs %g", h.WeightQuantum, o.WeightQuantum)
+	case h.PriorHash != o.PriorHash:
+		return fmt.Errorf("policy: prior hash %016x vs %016x", h.PriorHash, o.PriorHash)
+	}
+	return nil
+}
+
+// Record is one compiled fingerprint → action pair. Delta is
+// WakeAt − now at the decision instant (rebased onto the probe's now at
+// serve time), mirroring planner.Entry.
+type Record struct {
+	FP, Verify uint64
+	SendNow    bool
+	Delta      time.Duration
+	Gain       float64
+}
+
+// HashPrior hashes a resolved model prior together with the
+// fingerprint quanta: the identity a compiled table records so it is
+// never served against a model it was not compiled for. Any field that
+// changes the enumerated hypothesis set (or the fingerprint key
+// language) must be folded in here.
+func HashPrior(pr model.Prior, tq time.Duration, wq float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	putF := func(f float64) { put(math.Float64bits(f)) }
+	putR := func(r model.PriorRange) {
+		putF(r.Lo)
+		putF(r.Hi)
+		put(uint64(int64(r.N)))
+	}
+	putR(pr.LinkRate)
+	putR(pr.CrossFrac)
+	putR(pr.LossProb)
+	putR(pr.BufferCapBits)
+	putR(pr.ClockSkew)
+	put(uint64(int64(pr.FullnessSteps)))
+	put(uint64(int64(pr.MeanSwitch)))
+	if pr.PingerMaybeOff {
+		put(1)
+	} else {
+		put(0)
+	}
+	put(uint64(pr.CrossPktBits))
+	put(uint64(int64(pr.SwitchTick)))
+	put(uint64(int64(tq)))
+	putF(wq)
+	return h.Sum64()
+}
+
+// sortRecords orders records by fingerprint (then verify, for a stable
+// order under forced-collision tests).
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].FP != recs[j].FP {
+			return recs[i].FP < recs[j].FP
+		}
+		return recs[i].Verify < recs[j].Verify
+	})
+}

@@ -1,0 +1,353 @@
+package policy
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"modelcc/internal/fleet"
+	"modelcc/internal/model"
+)
+
+// synthRecords builds n deterministic pseudo-random records (SplitMix64
+// over i, no time/os dependence).
+func synthRecords(n int) []Record {
+	recs := make([]Record, n)
+	next := func(x uint64) uint64 {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := range recs {
+		fp := next(uint64(i) + 1)
+		recs[i] = Record{
+			FP:      fp,
+			Verify:  next(fp),
+			SendNow: i%3 == 0,
+			Delta:   time.Duration(i) * 10 * time.Millisecond,
+			Gain:    float64(i) * 1.25,
+		}
+	}
+	return recs
+}
+
+func testHeader() Header {
+	return Header{
+		FleetN:        8,
+		TimeQuantum:   50 * time.Millisecond,
+		WeightQuantum: 1e-3,
+		PriorHash:     0xDEADBEEF,
+		BuildSeed:     7,
+		Created:       1700000000,
+		Note:          "unit test",
+	}
+}
+
+func TestTableWriteOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.pol")
+	recs := synthRecords(5000)
+	if err := WriteTable(path, testHeader(), recs); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	h := tb.Header()
+	want := testHeader()
+	if h.FleetN != want.FleetN || h.TimeQuantum != want.TimeQuantum ||
+		h.WeightQuantum != want.WeightQuantum || h.PriorHash != want.PriorHash ||
+		h.BuildSeed != want.BuildSeed || h.Created != want.Created || h.Note != want.Note {
+		t.Fatalf("header round-trip: got %+v want %+v", h, want)
+	}
+	if tb.Len() != len(recs) {
+		t.Fatalf("len = %d, want %d", tb.Len(), len(recs))
+	}
+	// Every record served bit-identical, verify-mismatch refused.
+	if err := tb.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Absent fingerprints miss.
+	if _, ok := tb.Lookup(0x1234, 0); ok {
+		t.Error("absent fingerprint served")
+	}
+	// Spot-check payloads via the original (unsorted) records.
+	for _, r := range recs[:100] {
+		got, ok := tb.Lookup(r.FP, r.Verify)
+		if !ok || got != r {
+			t.Fatalf("lookup %016x: ok=%v got %+v want %+v", r.FP, ok, got, r)
+		}
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.pol")
+	if err := WriteTable(path, testHeader(), synthRecords(64)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flip := append([]byte(nil), data...)
+	flip[headerSize+17] ^= 0xFF // corrupt a record byte
+	bad := filepath.Join(dir, "bad.pol")
+	os.WriteFile(bad, flip, 0o644)
+	if _, err := Open(bad); err == nil {
+		t.Error("corrupt record region accepted")
+	}
+
+	trunc := filepath.Join(dir, "trunc.pol")
+	os.WriteFile(trunc, data[:len(data)-8], 0o644)
+	if _, err := Open(trunc); err == nil {
+		t.Error("truncated table accepted")
+	}
+
+	wrongMagic := append([]byte(nil), data...)
+	wrongMagic[0] = 'X'
+	wm := filepath.Join(dir, "wm.pol")
+	os.WriteFile(wm, wrongMagic, 0o644)
+	if _, err := Open(wm); err == nil {
+		t.Error("wrong magic accepted")
+	}
+}
+
+func TestWriteTableRejectsConflictingDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	recs := synthRecords(4)
+	// Same fingerprint, different payload: ambiguous, must be refused.
+	recs = append(recs, Record{FP: recs[0].FP, Verify: recs[0].Verify + 1})
+	if err := WriteTable(filepath.Join(dir, "dup.pol"), testHeader(), recs); err == nil {
+		t.Fatal("conflicting duplicate fingerprints accepted")
+	}
+	// Exact duplicates collapse silently.
+	recs2 := synthRecords(4)
+	recs2 = append(recs2, recs2[0])
+	path := filepath.Join(dir, "dup2.pol")
+	if err := WriteTable(path, testHeader(), recs2); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if tb.Len() != 4 {
+		t.Fatalf("len = %d after collapsing exact duplicate, want 4", tb.Len())
+	}
+}
+
+func TestHashPriorDiscriminates(t *testing.T) {
+	prA := fleet.Config{N: 8}.ResolvedPrior()
+	prB := fleet.Config{N: 16}.ResolvedPrior()
+	tq, wq := 50*time.Millisecond, 1e-3
+	if HashPrior(prA, tq, wq) == HashPrior(prB, tq, wq) {
+		t.Error("different fleet priors share a hash")
+	}
+	if HashPrior(prA, tq, wq) == HashPrior(prA, tq, 1e-6) {
+		t.Error("different weight quanta share a hash")
+	}
+	if HashPrior(prA, tq, wq) == HashPrior(prA, 0, wq) {
+		t.Error("different time quanta share a hash")
+	}
+
+	h := Header{TimeQuantum: tq, WeightQuantum: wq, PriorHash: HashPrior(prA, tq, wq)}
+	if err := h.CheckPrior(prA); err != nil {
+		t.Errorf("matching prior rejected: %v", err)
+	}
+	if err := h.CheckPrior(prB); err == nil {
+		t.Error("mismatched prior accepted")
+	}
+}
+
+// compileWorkload is the small fleet workload the serving tests replay:
+// big enough to exercise the coarse tier and the shared cache, small
+// enough for CI.
+func compileWorkload() CompileConfig {
+	return CompileConfig{
+		Fleet:    fleet.Config{N: 8, Workers: 1},
+		Seeds:    []int64{5},
+		Duration: 10 * time.Second,
+		Note:     "test workload",
+	}
+}
+
+// TestCompileServeReplay: compiling a fleet workload and re-serving the
+// same workload from the table must (a) serve ≥ 90% of decisions from
+// the table and (b) reproduce the warm-cache run bit-identically —
+// per-flow deliveries and utilities equal — because every table hit
+// returns exactly the action the compile recorded.
+func TestCompileServeReplay(t *testing.T) {
+	cc := compileWorkload()
+	h, recs, stats, err := Compile(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Unique == 0 || len(recs) != stats.Unique {
+		t.Fatalf("compile stats %+v inconsistent with %d records", stats, len(recs))
+	}
+	if err := h.CheckPrior(cc.Fleet.ResolvedPrior()); err != nil {
+		t.Fatalf("table incompatible with its own workload: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "t.pol")
+	if err := WriteTable(path, h, recs); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if err := tb.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the compile workload itself (warm cache, live planning).
+	ref := fleet.New(fleet.Config{N: 8, Workers: 1, Seed: 5})
+	ref.Run(cc.Duration)
+
+	// Served replay of the same workload.
+	srv := NewServer(tb, nil)
+	fl := fleet.New(fleet.Config{N: 8, Workers: 1, Seed: 5, Table: srv})
+	fl.Run(cc.Duration)
+
+	compiled, live := fl.CompiledStats()
+	total := compiled + live
+	if total == 0 {
+		t.Fatal("no decisions made")
+	}
+	hitRate := float64(compiled) / float64(total)
+	if hitRate < 0.9 {
+		t.Errorf("compiled hit rate %.3f (%d/%d) < 0.9 on a replay of the compile workload", hitRate, compiled, total)
+	}
+	probes, hits, _ := srv.Stats()
+	if probes == 0 || hits != compiled {
+		t.Errorf("server stats probes=%d hits=%d, guard compiled=%d", probes, hits, compiled)
+	}
+
+	for i := range fl.Members {
+		if got, want := fl.Members[i].Utility, ref.Members[i].Utility; got != want {
+			t.Errorf("member %d utility %v != reference %v (served trajectory diverged)", i, got, want)
+		}
+		f := fl.Members[i].Flow
+		if got, want := fl.Delivered(f), ref.Delivered(f); got != want {
+			t.Errorf("member %d delivered %d != reference %d", i, got, want)
+		}
+	}
+}
+
+// TestMissFeedbackLoop: serving a workload the table was NOT compiled
+// for logs its misses to the sidecar; merging table + sidecar and
+// re-serving the same workload turns those misses into hits.
+func TestMissFeedbackLoop(t *testing.T) {
+	// Compile deliberately short so a longer serve run outruns the
+	// table's coverage and exercises the sidecar.
+	cc := compileWorkload()
+	cc.Duration = 2 * time.Second
+	const serveDur = 10 * time.Second
+	h, recs, _, err := Compile(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tablePath := filepath.Join(dir, "t.pol")
+	sidecarPath := filepath.Join(dir, "t.miss")
+	if err := WriteTable(tablePath, h, recs); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Open(tablePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	// Serve an unseen seed; misses flow to the sidecar.
+	ml, err := CreateMissLog(sidecarPath, tb.Header())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(tb, ml)
+	fl1 := fleet.New(fleet.Config{N: 8, Workers: 1, Seed: 99, Table: srv})
+	fl1.Run(serveDur)
+	_, live1 := fl1.CompiledStats()
+	if err := ml.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if live1 == 0 {
+		t.Fatal("unseen seed produced no misses; feedback loop unexercised")
+	}
+	if ml.Appended == 0 {
+		t.Fatal("misses occurred but sidecar is empty")
+	}
+
+	// Merge table + sidecar into the next table generation.
+	mh, mrecs, err := Merge(tablePath, sidecarPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mrecs) <= tb.Len() {
+		t.Fatalf("merge did not grow the table: %d <= %d", len(mrecs), tb.Len())
+	}
+	nextPath := filepath.Join(dir, "t2.pol")
+	if err := WriteTable(nextPath, mh, mrecs); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := Open(nextPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb2.Close()
+	if err := tb2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-serve the same unseen seed from the merged table: the misses
+	// became hits.
+	srv2 := NewServer(tb2, nil)
+	fl2 := fleet.New(fleet.Config{N: 8, Workers: 1, Seed: 99, Table: srv2})
+	fl2.Run(serveDur)
+	compiled2, live2 := fl2.CompiledStats()
+	rate2 := float64(compiled2) / float64(compiled2+live2)
+	if rate2 < 0.95 {
+		t.Errorf("post-merge hit rate %.3f (%d live), want ≥ 0.95: miss feedback loop broken", rate2, live2)
+	}
+
+	// The merged-table trajectory replays the first serve run exactly
+	// (every miss-logged decision is served back bit-identical).
+	for i := range fl2.Members {
+		if got, want := fl2.Members[i].Utility, fl1.Members[i].Utility; got != want {
+			t.Errorf("member %d utility %v != first serve run %v", i, got, want)
+		}
+	}
+}
+
+// TestMergeRejectsIncompatible: files compiled under different models
+// or quanta must not merge.
+func TestMergeRejectsIncompatible(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.pol")
+	b := filepath.Join(dir, "b.pol")
+	ha := testHeader()
+	hb := testHeader()
+	hb.PriorHash++
+	if err := WriteTable(a, ha, synthRecords(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTable(b, hb, synthRecords(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Merge(a, b); err == nil {
+		t.Error("prior-hash mismatch merged")
+	}
+}
+
+var _ = model.Prior{} // keep the model import tied to CheckPrior usage above

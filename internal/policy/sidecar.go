@@ -1,0 +1,90 @@
+package policy
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// MissLog is the append-only sidecar a Server writes table misses to:
+// the same fixed-width records as a table, unsorted, behind a sidecar
+// header carrying the same identity (quanta, prior hash) so a later
+// Merge can refuse incompatible files. Each distinct fingerprint is
+// appended once per process lifetime (an uncovered situation recurs on
+// every wake; logging it once bounds the file by coverage, not by
+// runtime).
+//
+// Appends are buffered; Close (or Flush) makes them durable. MissLog
+// is safe for concurrent use.
+type MissLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	seen map[uint64]struct{}
+	// Appended counts records written (post-dedup).
+	Appended int
+}
+
+// CreateMissLog creates (or truncates) a sidecar miss log whose
+// identity matches the table being served.
+func CreateMissLog(path string, h Header) (*MissLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	h.Version = Version
+	h.Records = 0
+	var buf [headerSize]byte
+	putHeader(buf[:], magicSidecar, h)
+	if _, err := f.Write(buf[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &MissLog{f: f, w: bufio.NewWriter(f), seen: make(map[uint64]struct{})}, nil
+}
+
+// Append logs one miss. Repeated fingerprints are dropped.
+func (l *MissLog) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return fmt.Errorf("policy: miss log closed")
+	}
+	if _, dup := l.seen[r.FP]; dup {
+		return nil
+	}
+	l.seen[r.FP] = struct{}{}
+	var buf [recordSize]byte
+	putRecord(buf[:], r)
+	if _, err := l.w.Write(buf[:]); err != nil {
+		return err
+	}
+	l.Appended++
+	return nil
+}
+
+// Flush forces buffered records to the file.
+func (l *MissLog) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return nil
+	}
+	return l.w.Flush()
+}
+
+// Close flushes and closes the sidecar.
+func (l *MissLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return nil
+	}
+	err := l.w.Flush()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.w, l.f = nil, nil
+	return err
+}
