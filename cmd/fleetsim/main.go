@@ -1,23 +1,39 @@
-// Command fleetsim runs N-sender fleet fairness sweeps: N coexisting
+// Command fleetsim runs N-sender fleet simulations: N coexisting
 // ISENDERs share one bottleneck inside one process on the batching
-// arbitration layer (internal/fleet), and the sweep reports Jain's
-// fairness index, per-flow throughput/delay, and aggregate utility at
-// each fleet size.
+// arbitration layer (internal/fleet).
+//
+// Two modes:
+//
+//   - Fairness sweep (default): one steady fleet per size; reports
+//     Jain's index, per-flow throughput/delay, aggregate utility.
+//   - Churn (-churn): the fleet lives under a seeded churn schedule —
+//     arrivals, departures, crash-kills — with the lifecycle
+//     Supervisor checkpointing members and restarting casualties
+//     through the hot/warm/cold ladder (internal/lifecycle).
 //
 // Usage:
 //
 //	go run ./cmd/fleetsim [-n 2,4,16,64,256] [-dur 120s] [-seed 1]
 //	                      [-alpha 1] [-rate 6000] [-fq] [-workers 0]
-//	                      [-per-flow] [-no-cache]
+//	                      [-per-flow] [-no-cache] [-jain-floor 0]
+//	go run ./cmd/fleetsim -churn [-epoch 10s] [-depart .04] [-crash .06]
+//	                      [-arrive .5] [-no-ckpt] [-checkpoint-dir d]
+//	                      [-json out.json]
 //
 // Examples:
 //
-//	go run ./cmd/fleetsim -n 2,16 -dur 60s       # quick look
-//	go run ./cmd/fleetsim -fq                    # DRR fair-queue bottleneck
-//	go run ./cmd/fleetsim -n 256 -per-flow       # every flow's numbers
+//	go run ./cmd/fleetsim -n 2,16 -dur 60s         # quick look
+//	go run ./cmd/fleetsim -fq                      # DRR fair-queue bottleneck
+//	go run ./cmd/fleetsim -n 256 -per-flow         # every flow's numbers
+//	go run ./cmd/fleetsim -churn -smoke            # CI churn soak
+//	go run ./cmd/fleetsim -jain-floor 0.9          # exit 3 if any point under
+//
+// Exit status: 0 on success, 2 on usage errors, 3 when any point's
+// Jain index falls below -jain-floor.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,31 +46,47 @@ import (
 )
 
 func main() {
-	ns := flag.String("n", "2,4,16,64,256", "comma-separated fleet sizes")
+	ns := flag.String("n", "", "comma-separated fleet sizes (default 2,4,16,64,256; churn default 4,16,64)")
 	dur := flag.Duration("dur", 120*time.Second, "virtual duration per run")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	alpha := flag.Float64("alpha", 1, "cross-traffic priority α for every member")
 	rate := flag.Float64("rate", 6000, "per-sender fair share in bits/s (link = N × rate)")
 	fq := flag.Bool("fq", false, "DRR fair-queue bottleneck instead of tail-drop FIFO")
 	workers := flag.Int("workers", 0, "shared rollout pool width (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
-	perFlow := flag.Bool("per-flow", false, "print every flow's throughput/delay/drops")
-	noCache := flag.Bool("no-cache", false, "disable the fleet-wide shared policy cache")
+	perFlow := flag.Bool("per-flow", false, "print every flow's throughput/delay/drops (fairness mode)")
+	noCache := flag.Bool("no-cache", false, "disable the fleet-wide shared policy cache (fairness mode)")
+	jainFloor := flag.Float64("jain-floor", 0, "exit non-zero when any point's Jain index is below this floor")
+
+	churn := flag.Bool("churn", false, "churn mode: supervised lifecycle run instead of a steady fairness sweep")
+	epoch := flag.Duration("epoch", 10*time.Second, "churn decision period")
+	depart := flag.Float64("depart", 0.04, "per-member per-epoch departure probability")
+	crash := flag.Float64("crash", 0.06, "per-member per-epoch crash probability")
+	arrive := flag.Float64("arrive", 0.5, "per-open-slot per-epoch arrival probability")
+	noCkpt := flag.Bool("no-ckpt", false, "disable checkpoints: every restart cold instead of warm")
+	ckptDir := flag.String("checkpoint-dir", "", "mirror member checkpoints to this directory")
+	smoke := flag.Bool("smoke", false, "small fast churn soak for CI (overrides -n and -dur)")
+	jsonOut := flag.String("json", "", "also write churn results as JSON to this file")
 	flag.Parse()
 
-	var sizes []int
-	for _, s := range strings.Split(*ns, ",") {
-		s = strings.TrimSpace(s)
-		if s == "" {
-			continue
-		}
-		n, err := strconv.Atoi(s)
-		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "fleetsim: bad fleet size %q\n", s)
-			os.Exit(2)
-		}
-		sizes = append(sizes, n)
+	sizes, err := parseSizes(*ns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+		os.Exit(2)
 	}
 
+	if *churn {
+		runChurn(churnOpts{
+			sizes: sizes, dur: *dur, seed: *seed, workers: *workers, fq: *fq,
+			epoch: *epoch, depart: *depart, crash: *crash, arrive: *arrive,
+			noCkpt: *noCkpt, ckptDir: *ckptDir, smoke: *smoke,
+			jsonOut: *jsonOut, jainFloor: *jainFloor,
+		})
+		return
+	}
+
+	if len(sizes) == 0 {
+		sizes = []int{2, 4, 16, 64, 256}
+	}
 	start := time.Now()
 	res := experiments.FairnessSweep(experiments.FairnessConfig{
 		Ns:            sizes,
@@ -79,4 +111,108 @@ func main() {
 			}
 		}
 	}
+	var jains []float64
+	for _, p := range res.Points {
+		jains = append(jains, p.Jain)
+	}
+	checkJainFloor(jains, *jainFloor)
+}
+
+type churnOpts struct {
+	sizes                 []int
+	dur                   time.Duration
+	seed                  int64
+	workers               int
+	fq                    bool
+	epoch                 time.Duration
+	depart, crash, arrive float64
+	noCkpt                bool
+	ckptDir               string
+	smoke                 bool
+	jsonOut               string
+	jainFloor             float64
+}
+
+func runChurn(o churnOpts) {
+	sizes := o.sizes
+	dur := o.dur
+	if o.smoke {
+		// One small fast point: enough churn to exercise teardown,
+		// restart, and recycling under -race within a CI timeout.
+		sizes = []int{8}
+		dur = 60 * time.Second
+	} else if len(sizes) == 0 {
+		sizes = []int{4, 16, 64}
+	}
+	start := time.Now()
+	res := experiments.ChurnSweep(experiments.ChurnSweepConfig{
+		Ns: sizes,
+		Base: experiments.ChurnConfig{
+			Duration:      dur,
+			Seed:          o.seed,
+			Epoch:         o.epoch,
+			DepartProb:    o.depart,
+			CrashProb:     o.crash,
+			ArriveProb:    o.arrive,
+			Workers:       o.workers,
+			FairQueue:     o.fq,
+			NoCheckpoints: o.noCkpt,
+			CheckpointDir: o.ckptDir,
+		},
+	})
+	fmt.Print(res.Render())
+	fmt.Printf("(%v wall)\n", time.Since(start).Round(time.Millisecond))
+
+	for _, p := range res.Points {
+		if p.CheckpointErrors > 0 {
+			fmt.Fprintf(os.Stderr, "fleetsim: N=%d saw %d checkpoint errors\n", p.Cfg.N, p.CheckpointErrors)
+			os.Exit(1)
+		}
+	}
+	if o.jsonOut != "" {
+		b, err := json.MarshalIndent(res.Points, "", "  ")
+		if err == nil {
+			err = os.WriteFile(o.jsonOut, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleetsim: writing %s: %v\n", o.jsonOut, err)
+			os.Exit(1)
+		}
+	}
+	var jains []float64
+	for _, p := range res.Points {
+		jains = append(jains, p.Jain)
+	}
+	checkJainFloor(jains, o.jainFloor)
+}
+
+// checkJainFloor exits with status 3 when any point's fairness fell
+// below the requested floor — the CI tripwire for fairness
+// regressions.
+func checkJainFloor(jains []float64, floor float64) {
+	if floor <= 0 {
+		return
+	}
+	for i, j := range jains {
+		if j < floor {
+			fmt.Fprintf(os.Stderr, "fleetsim: point %d Jain %.4f below floor %.4f\n", i, j, floor)
+			os.Exit(3)
+		}
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad fleet size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }

@@ -20,14 +20,18 @@ import (
 // Compared to Exact it trades exactness for a cost independent of how
 // bushy the fork tree is.
 type Particle struct {
-	cfg       Config
-	rng       *rand.Rand
+	cfg Config
+	// rng is a single-word SplitMix64 stream rather than *rand.Rand so
+	// the filter's entire random state is one serializable word
+	// (Snapshot/RestoreParticle round-trip it bit-identically); it is
+	// seeded once from the caller's source at construction.
+	rng       rollout.Rand
 	particles []Hypothesis
 	now       time.Duration
 	pending   []model.Send
 	// prior keeps pristine initial states for Config.Recover
 	// re-seeding after a likelihood collapse.
-	prior []model.State
+	prior     []model.State
 	recent    map[int64]time.Duration // soft-mode ack memory
 	compacted []Hypothesis            // cache for Support
 	dirty     bool
@@ -41,6 +45,9 @@ type Particle struct {
 
 	// Resamples counts resampling rounds, for instrumentation.
 	Resamples int
+	// Cum accumulates stats over the belief's lifetime (mirrors
+	// Exact.Cum; supervisors watch Cum.Reseeded as a health signal).
+	Cum UpdateStats
 }
 
 // NewParticle draws n particles uniformly from the given prior states.
@@ -57,6 +64,10 @@ func NewParticle(states []model.State, n int, cfg Config, rng *rand.Rand) *Parti
 		// Invariant: a zero-particle filter cannot represent anything.
 		panic("belief: particle count must be positive")
 	}
+	// All randomness — construction draws included — comes from one
+	// SplitMix64 stream seeded by the caller's source, so the filter's
+	// full random state is a single checkpointable word.
+	stream := rollout.RandFromState(rng.Uint64())
 	w := 1 / float64(n)
 	ps := make([]Hypothesis, n)
 	for i := 0; i < n; i++ {
@@ -67,10 +78,10 @@ func NewParticle(states []model.State, n int, cfg Config, rng *rand.Rand) *Parti
 			if i < len(states) {
 				src = states[i]
 			} else {
-				src = states[rng.Intn(len(states))]
+				src = states[stream.Intn(len(states))]
 			}
 		} else {
-			src = states[rng.Intn(len(states))]
+			src = states[stream.Intn(len(states))]
 		}
 		ps[i] = Hypothesis{S: src.Clone(), W: w}
 	}
@@ -81,7 +92,7 @@ func NewParticle(states []model.State, n int, cfg Config, rng *rand.Rand) *Parti
 	}
 	b := &Particle{
 		cfg:       cfg,
-		rng:       rng,
+		rng:       stream,
 		particles: ps,
 		dirty:     true,
 		pool:      pool,
@@ -259,6 +270,11 @@ func (b *Particle) Update(now time.Duration, acks []packet.Ack) UpdateStats {
 	b.pending = append(b.pending[:0], b.pending[nSends:]...)
 	b.dirty = true
 	stats.N = len(b.Support())
+	b.Cum.Branches += stats.Branches
+	b.Cum.Rejected += stats.Rejected
+	b.Cum.Relaxed += stats.Relaxed
+	b.Cum.Reseeded += stats.Reseeded
+	b.Cum.N = stats.N
 	return stats
 }
 

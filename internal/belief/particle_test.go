@@ -50,7 +50,7 @@ func TestParticleStratifiedInitIncludesAllPriorStates(t *testing.T) {
 
 func TestParticleResamples(t *testing.T) {
 	states := twoRatePrior(12000, 24000)
-	b := NewParticle(states, 100, Config{}, rand.New(rand.NewSource(9)))
+	b := NewParticle(states, 100, Config{}, rand.New(rand.NewSource(2)))
 	// One decisive observation halves the population's weight mass to
 	// one side; ESS collapses and a resample must fire.
 	b.RecordSend(model.Send{Seq: 0, At: 0})

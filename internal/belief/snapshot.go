@@ -1,0 +1,197 @@
+package belief
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"modelcc/internal/model"
+	"modelcc/internal/rollout"
+)
+
+// Snapshot is a belief's complete serializable decision state: enough
+// to rebuild an Exact or Particle belief that resumes bit-identically —
+// same posterior, same pending sends, same soft-matching ack memory,
+// same RNG stream position. internal/lifecycle encodes Snapshots into
+// versioned member checkpoints; the prior states themselves are NOT
+// part of the snapshot (they are re-derived from the configuration, and
+// the checkpoint header binds their identity via policy.HashPrior).
+type Snapshot struct {
+	// Particle distinguishes the two belief kinds; a snapshot restores
+	// only into the kind that produced it.
+	Particle bool
+	// Now is the time of the last update.
+	Now time.Duration
+	// Hyps is the weighted support: the posterior for Exact, the raw
+	// (uncompacted) particle population for Particle.
+	Hyps []Hypothesis
+	// Pending are the recorded-but-unfolded sends, oldest first.
+	Pending []model.Send
+	// Recent is the soft-matching ack memory, ascending by Seq (sorted
+	// so snapshots of the same belief are canonical).
+	Recent []AckMemo
+	// Cum is the lifetime update-stats accumulator.
+	Cum UpdateStats
+	// RNG is the particle stream's state word (Particle only).
+	RNG uint64
+	// Resamples is the particle resampling counter (Particle only).
+	Resamples int
+}
+
+// AckMemo is one remembered acknowledgment of the soft-matching window.
+type AckMemo struct {
+	Seq int64
+	At  time.Duration
+}
+
+// memosFromMap flattens the recent-ack map in ascending Seq order.
+func memosFromMap(recent map[int64]time.Duration) []AckMemo {
+	if len(recent) == 0 {
+		return nil
+	}
+	out := make([]AckMemo, 0, len(recent))
+	for seq, at := range recent {
+		out = append(out, AckMemo{Seq: seq, At: at})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// validate rejects snapshots no belief could have produced, so a
+// decoded-from-disk snapshot can never build a silently wrong belief.
+func (sn *Snapshot) validate() error {
+	if len(sn.Hyps) == 0 {
+		return errors.New("belief: snapshot has no hypotheses")
+	}
+	var total float64
+	for _, h := range sn.Hyps {
+		if !(h.W >= 0) { // rejects NaN and negatives
+			return errors.New("belief: snapshot hypothesis weight is negative or NaN")
+		}
+		total += h.W
+	}
+	if !(total > 0) {
+		return errors.New("belief: snapshot weights sum to zero")
+	}
+	for i := 1; i < len(sn.Pending); i++ {
+		if sn.Pending[i].At < sn.Pending[i-1].At {
+			return errors.New("belief: snapshot pending sends out of order")
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the belief's full decision state. The returned
+// snapshot owns deep copies of every state; it stays valid across later
+// updates.
+func (b *Exact) Snapshot() Snapshot {
+	sn := Snapshot{Now: b.now, Cum: b.Cum}
+	sn.Hyps = make([]Hypothesis, len(b.hyps))
+	for i, h := range b.hyps {
+		sn.Hyps[i] = Hypothesis{S: h.S.Clone(), W: h.W}
+	}
+	if len(b.pending) > 0 {
+		sn.Pending = append([]model.Send(nil), b.pending...)
+	}
+	sn.Recent = memosFromMap(b.recent)
+	return sn
+}
+
+// RestoreExact rebuilds an Exact belief from a snapshot over the given
+// prior states (needed only when cfg.Recover re-seeds after a
+// collapse). The restored belief resumes bit-identically: the same
+// Update sequence yields the same posteriors as the original would
+// have. The snapshot's states are cloned; the caller may keep it.
+func RestoreExact(states []model.State, cfg Config, sn Snapshot) (*Exact, error) {
+	if sn.Particle {
+		return nil, errors.New("belief: particle snapshot cannot restore an exact belief")
+	}
+	if err := sn.validate(); err != nil {
+		return nil, err
+	}
+	b := NewExact(states, cfg)
+	b.hyps = make([]Hypothesis, len(sn.Hyps))
+	for i, h := range sn.Hyps {
+		b.hyps[i] = Hypothesis{S: h.S.Clone(), W: h.W}
+	}
+	b.now = sn.Now
+	b.pending = append([]model.Send(nil), sn.Pending...)
+	for _, m := range sn.Recent {
+		b.recent[m.Seq] = m.At
+	}
+	b.Cum = sn.Cum
+	return b, nil
+}
+
+// Snapshot captures the particle belief's full decision state,
+// including its private RNG stream position, so the restored filter's
+// future toggle draws and resampling offsets match the original's.
+func (b *Particle) Snapshot() Snapshot {
+	sn := Snapshot{
+		Particle:  true,
+		Now:       b.now,
+		Cum:       b.Cum,
+		RNG:       b.rng.State(),
+		Resamples: b.Resamples,
+	}
+	sn.Hyps = make([]Hypothesis, len(b.particles))
+	for i, p := range b.particles {
+		sn.Hyps[i] = Hypothesis{S: p.S.Clone(), W: p.W}
+	}
+	if len(b.pending) > 0 {
+		sn.Pending = append([]model.Send(nil), b.pending...)
+	}
+	sn.Recent = memosFromMap(b.recent)
+	return sn
+}
+
+// RestoreParticle rebuilds a Particle belief from a snapshot over the
+// given prior states. Resumption is bit-identical: the RNG stream
+// continues from the snapshot's word.
+func RestoreParticle(states []model.State, cfg Config, sn Snapshot) (*Particle, error) {
+	if !sn.Particle {
+		return nil, errors.New("belief: exact snapshot cannot restore a particle belief")
+	}
+	if len(states) == 0 {
+		return nil, errors.New("belief: empty prior")
+	}
+	if err := sn.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	pool := cfg.Pool
+	if pool == nil {
+		pool = rollout.New(cfg.Workers)
+	}
+	n := len(sn.Hyps)
+	b := &Particle{
+		cfg:       cfg,
+		rng:       rollout.RandFromState(sn.RNG),
+		particles: make([]Hypothesis, n),
+		now:       sn.Now,
+		dirty:     true,
+		pool:      pool,
+		lws:       make([]float64, n),
+		prevW:     make([]float64, n),
+		byKey:     make(map[uint64]int),
+		Resamples: sn.Resamples,
+		Cum:       sn.Cum,
+	}
+	for i, h := range sn.Hyps {
+		b.particles[i] = Hypothesis{S: h.S.Clone(), W: h.W}
+	}
+	b.pending = append([]model.Send(nil), sn.Pending...)
+	if len(sn.Recent) > 0 {
+		b.recent = make(map[int64]time.Duration, len(sn.Recent))
+		for _, m := range sn.Recent {
+			b.recent[m.Seq] = m.At
+		}
+	}
+	if cfg.Recover {
+		b.prior = make([]model.State, len(states))
+		for i, s := range states {
+			b.prior[i] = s.Clone()
+		}
+	}
+	return b, nil
+}

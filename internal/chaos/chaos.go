@@ -110,6 +110,31 @@ func (c Config) Sub(label string) Config {
 	return c
 }
 
+// Source is a raw deterministic draw stream over a Config's seed, for
+// consumers that schedule their own faults — the lifecycle admission
+// controller derives its churn schedule (arrivals, departures,
+// crash-kills) from Sub("churn").Source() — rather than consuming
+// per-packet Verdicts. It advances exactly like an Injector's decision
+// stream: one SplitMix64 step per draw, nothing dependent on wall time
+// or scheduling, so the same seed replays the same schedule
+// bit-identically. Not safe for concurrent use.
+type Source struct{ ctr uint64 }
+
+// Source returns the config's draw stream, positioned at its start.
+func (c Config) Source() *Source { return &Source{ctr: splitmix(uint64(c.Seed))} }
+
+// Uint64 advances the stream one step.
+func (s *Source) Uint64() uint64 {
+	s.ctr++
+	return splitmix(s.ctr)
+}
+
+// Float64 draws uniformly from [0, 1).
+func (s *Source) Float64() float64 { return float64(s.Uint64()>>11) / (1 << 53) }
+
+// Intn draws uniformly from [0, n); n must be positive.
+func (s *Source) Intn(n int) int { return int(s.Uint64() % uint64(n)) }
+
 // Clock wraps a base clock with the schedule's jumps. The returned
 // clock is NOT guaranteed monotone — that is the point: consumers
 // (transport.Sender) must clamp. Jump times are in base-clock terms.

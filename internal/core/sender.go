@@ -73,6 +73,13 @@ func NewSender(b belief.Belief, plan planner.Config) *Sender {
 // NextSeq reports the next unused sequence number.
 func (s *Sender) NextSeq() int64 { return s.nextSeq }
 
+// SetNextSeq reinstates a checkpointed sequence counter on a freshly
+// built sender, so a warm-restored member continues the numbering its
+// predecessor's acknowledgments refer to. Only lifecycle restore should
+// call it; moving the counter backwards on a sender that has already
+// sent would corrupt the belief's send history.
+func (s *Sender) SetNextSeq(seq int64) { s.nextSeq = seq }
+
 // Wake processes the acknowledgments received since the previous wakeup
 // (possibly none, for timer wakeups), updates the belief, and decides
 // what to do. Wake must be called with non-decreasing now.

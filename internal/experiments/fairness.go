@@ -156,11 +156,9 @@ func fairnessPoint(fl *fleet.Fleet, duration time.Duration) FairnessPoint {
 			MaxDelay:  m.Delay.MaxV,
 			Utility:   m.Utility,
 		}
-		if fl.Buffer != nil {
-			fs.Drops = fl.Buffer.Drops[m.Flow]
-		} else if fl.FQ != nil {
-			fs.Drops = fl.FQ.Drops[m.Flow]
-		}
+		// Generation-fenced accessor: identical to the raw per-flow maps
+		// for a churn-free sweep, correct when flows have been recycled.
+		fs.Drops = fl.FlowDrops(m.Flow)
 		p.PerFlow = append(p.PerFlow, fs)
 		p.AggRate += rate
 		p.AggUtility += m.Utility

@@ -297,6 +297,11 @@ type Fleet struct {
 	Pool *rollout.Pool
 	// Cache is the fleet-wide policy cache (nil when disabled).
 	Cache *planner.PolicyCache
+	// OrphanAcks counts acknowledgments that arrived for a flow with no
+	// live member — the in-flight packets of a retired member draining
+	// through the DES loop. They are never a panic: teardown is
+	// graceful by construction.
+	OrphanAcks int64
 
 	dirty, spare []*Member
 	drainArmed   bool
@@ -304,6 +309,26 @@ type Fleet struct {
 	// drain: arming it is allocation-free (sim.Loop.Reschedule), so
 	// the batched-ack hot path never schedules a fresh closure.
 	drainTimer *sim.Timer
+
+	// q is the bottleneck ingress every member sends into.
+	q elements.Node
+	// states/bcfg/pcfg are the resolved member-construction inputs,
+	// kept so mid-run admissions build members identical to New's.
+	states []model.State
+	bcfg   belief.Config
+	pcfg   planner.Config
+	// flows fences per-flow accounting across member generations,
+	// indexed by flow in lockstep with Members.
+	flows []flowRecord
+}
+
+// flowRecord is one flow ID's cross-generation bookkeeping: how many
+// packets retired generations injected (so in-flight drain can be told
+// apart from a fresh member's traffic) and how many generations the
+// flow has hosted.
+type flowRecord struct {
+	injected int64
+	gens     uint32
 }
 
 // New builds a fleet. Nothing runs until Run (or the loop is driven
@@ -326,56 +351,98 @@ func New(cfg Config) *Fleet {
 	}
 
 	f.Recv = elements.NewReceiver(f.Loop, func(a packet.Ack) {
+		// Bounds- and nil-safe: a retired member's in-flight packets
+		// keep draining to the receiver after its slot is vacated.
+		if int(a.Flow) >= len(f.Members) || f.Members[a.Flow] == nil {
+			f.OrphanAcks++
+			return
+		}
 		f.Members[a.Flow].OnAck(a)
 	})
-	var q elements.Node
 	if cfg.FairQueue {
 		f.FQ = elements.NewFairQueue(cfg.BufferCapBits)
 		f.Link = elements.NewThroughput(f.Loop, cfg.LinkRate, f.Recv)
 		f.FQ.AttachDrain(f.Link)
-		q = f.FQ
+		f.q = f.FQ
 	} else {
 		f.Buffer, f.Link = elements.NewBottleneck(f.Loop, cfg.BufferCapBits, cfg.LinkRate, f.Recv)
-		q = f.Buffer
+		f.q = f.Buffer
 	}
 
 	prior := Prior(cfg.LinkRate, cfg.BufferCapBits, cfg.N)
 	if cfg.PriorOverride != nil {
 		prior = *cfg.PriorOverride
 	}
-	states, _ := prior.Enumerate()
+	f.states, _ = prior.Enumerate()
 
 	u := utility.Default()
 	u.Alpha = cfg.Alpha
-	bcfg := beliefDefaults(cfg.BeliefCfg, cfg.N)
-	bcfg.Pool = f.Pool
-	pcfg := planDefaults(cfg.Plan, cfg.PerSenderRate, u, cfg.N)
-	pcfg.Pool = f.Pool
+	f.bcfg = beliefDefaults(cfg.BeliefCfg, cfg.N)
+	f.bcfg.Pool = f.Pool
+	f.pcfg = planDefaults(cfg.Plan, cfg.PerSenderRate, u, cfg.N)
+	f.pcfg.Pool = f.Pool
 
-	f.Members = make([]*Member, cfg.N)
+	f.Members = make([]*Member, 0, cfg.N)
+	f.flows = make([]flowRecord, 0, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		b := belief.NewExact(states, bcfg)
-		s := core.NewSender(b, pcfg)
-		if cfg.Table != nil {
-			// Compiled serving path: table → warm cache → live, all
-			// synchronous (Budget 0 keeps the DES loop deterministic).
-			g := planner.NewGuard(0, f.Cache)
-			g.Compiled = cfg.Table
-			s.Guard = g
-		} else {
-			s.Cache = f.Cache
-		}
-		// A solo sender's 32-packet burst cap is harmless; in a fleet a
-		// sender whose posterior momentarily says "link free" would pour
-		// 32 packets into the shared buffer before its next re-decision,
-		// and N senders can do it at once. Tight bursts keep mistakes
-		// packet-sized.
-		s.MaxBurst = 4
-		m := NewMember(f.Loop, s, packet.FlowID(i), q)
-		m.notify = f.enqueue
-		f.Members[i] = m
+		f.attach(packet.FlowID(i), f.newSender())
 	}
 	return f
+}
+
+// newSender builds one cold member sender from the fleet's resolved
+// prior and configs, wired into the shared cache/table.
+func (f *Fleet) newSender() *core.Sender {
+	return f.wireSender(core.NewSender(belief.NewExact(f.states, f.bcfg), f.pcfg))
+}
+
+// wireSender attaches a sender to the fleet's shared serving machinery:
+// the compiled table (as a synchronous Guard rung 0) or the shared
+// policy cache, plus the fleet burst cap.
+func (f *Fleet) wireSender(s *core.Sender) *core.Sender {
+	if f.Cfg.Table != nil {
+		// Compiled serving path: table → warm cache → live, all
+		// synchronous (Budget 0 keeps the DES loop deterministic).
+		g := planner.NewGuard(0, f.Cache)
+		g.Compiled = f.Cfg.Table
+		s.Guard = g
+	} else {
+		s.Cache = f.Cache
+	}
+	// A solo sender's 32-packet burst cap is harmless; in a fleet a
+	// sender whose posterior momentarily says "link free" would pour
+	// 32 packets into the shared buffer before its next re-decision,
+	// and N senders can do it at once. Tight bursts keep mistakes
+	// packet-sized.
+	s.MaxBurst = 4
+	return s
+}
+
+// attach occupies flow with a new member generation (extending the flow
+// space as needed) and fences its counters: deliveries and drops that
+// predate this admission — including a predecessor's still-draining
+// packets — are excluded from the member's Delivered/FlowDrops.
+// The member is not started; callers schedule its first wake.
+func (f *Fleet) attach(flow packet.FlowID, s *core.Sender) *Member {
+	idx := int(flow)
+	for idx >= len(f.Members) {
+		f.Members = append(f.Members, nil)
+		f.flows = append(f.flows, flowRecord{})
+	}
+	if f.Members[idx] != nil {
+		// Invariant, not a runtime condition: admission picks vacant
+		// flows (AllocFlow); occupying a live one is a caller bug.
+		panic("fleet: flow already occupied")
+	}
+	m := NewMember(f.Loop, s, flow, f.q)
+	m.notify = f.enqueue
+	m.Gen = f.flows[idx].gens
+	f.flows[idx].gens++
+	m.AdmittedAt = f.Loop.Now()
+	m.baseDelivered = f.Recv.Received[flow]
+	m.baseDrops = f.rawDrops(flow)
+	f.Members[idx] = m
+	return m
 }
 
 // Start schedules every member's first wakeup, staggered over
@@ -384,6 +451,9 @@ func New(cfg Config) *Fleet {
 func (f *Fleet) Start() {
 	n := int64(len(f.Members))
 	for i, m := range f.Members {
+		if m == nil {
+			continue
+		}
 		m.Start(time.Duration(int64(f.Cfg.Stagger) * int64(i) / n))
 	}
 }
@@ -425,27 +495,175 @@ func (f *Fleet) drain() {
 	f.spare = batch[:0]
 }
 
-// Drops reports total bottleneck drops across all flows, iterating
-// members in index order (never a Go map) so callers stay
-// deterministic.
+// Drops reports total bottleneck drops across all flows and all member
+// generations, iterating flows in index order (never a Go map) so
+// callers stay deterministic.
 func (f *Fleet) Drops() int {
 	total := 0
-	for i := range f.Members {
-		flow := packet.FlowID(i)
-		if f.Buffer != nil {
-			total += f.Buffer.Drops[flow]
-		}
-		if f.FQ != nil {
-			total += f.FQ.Drops[flow]
-		}
+	for i := range f.flows {
+		total += f.rawDrops(packet.FlowID(i))
 	}
 	return total
 }
 
-// Delivered reports packets delivered to the receiver for one flow.
+// rawDrops reports the flow's bottleneck drops across all generations.
+func (f *Fleet) rawDrops(flow packet.FlowID) int {
+	if f.Buffer != nil {
+		return f.Buffer.Drops[flow]
+	}
+	if f.FQ != nil {
+		return f.FQ.Drops[flow]
+	}
+	return 0
+}
+
+// Delivered reports packets delivered to the receiver for the flow's
+// current member generation. A recycled flow ID never inherits its
+// predecessor's counters: deliveries are fenced at admission time
+// (Member.baseDelivered), so a predecessor's in-flight packets draining
+// after a restart are excluded. Zero when the flow has no live member.
 func (f *Fleet) Delivered(flow packet.FlowID) int {
+	idx := int(flow)
+	if idx >= len(f.Members) || f.Members[idx] == nil {
+		return 0
+	}
+	return f.Recv.Received[flow] - f.Members[idx].baseDelivered
+}
+
+// DeliveredTotal reports deliveries for the flow across every
+// generation that ever used it (the raw receiver counter).
+func (f *Fleet) DeliveredTotal(flow packet.FlowID) int {
 	return f.Recv.Received[flow]
 }
+
+// FlowDrops reports bottleneck drops for the flow's current member
+// generation, fenced at admission like Delivered. Zero when vacant.
+func (f *Fleet) FlowDrops(flow packet.FlowID) int {
+	idx := int(flow)
+	if idx >= len(f.Members) || f.Members[idx] == nil {
+		return 0
+	}
+	return f.rawDrops(flow) - f.Members[idx].baseDrops
+}
+
+// InFlight reports how many of the flow's injected packets — across
+// all generations — are still inside the bottleneck (neither delivered
+// nor dropped). Flow recycling waits for zero so a successor's fenced
+// counters can never absorb a predecessor's stragglers.
+func (f *Fleet) InFlight(flow packet.FlowID) int64 {
+	idx := int(flow)
+	if idx >= len(f.flows) {
+		return 0
+	}
+	inj := f.flows[idx].injected
+	if idx < len(f.Members) && f.Members[idx] != nil {
+		inj += f.Members[idx].Injected
+	}
+	return inj - int64(f.Recv.Received[flow]) - int64(f.rawDrops(flow))
+}
+
+// Live reports the number of occupied member slots.
+func (f *Fleet) Live() int {
+	n := 0
+	for _, m := range f.Members {
+		if m != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Admit starts a fresh (cold-from-the-prior) member on the given flow
+// at now+offset. The flow must be vacant — use AllocFlow to pick one.
+func (f *Fleet) Admit(flow packet.FlowID, offset time.Duration) *Member {
+	m := f.attach(flow, f.newSender())
+	m.Start(offset)
+	return m
+}
+
+// AdmitSender starts a caller-built sender (for example one warm-
+// restored from a lifecycle checkpoint) on the given flow at
+// now+offset, wiring it into the fleet's shared cache/table first.
+func (f *Fleet) AdmitSender(flow packet.FlowID, s *core.Sender, offset time.Duration) *Member {
+	m := f.attach(flow, f.wireSender(s))
+	m.Start(offset)
+	return m
+}
+
+// Retire tears the flow's member down on the live loop: the member
+// stops deciding and sending immediately (its wake timer is disarmed
+// and late wakes are no-ops), while its in-flight packets drain
+// gracefully through the DES loop to the receiver, counted as orphan
+// acknowledgments toward the flow's recycling fence. Returns the
+// retired member (its series and counters stay readable), or nil if
+// the flow had none. Retiring twice is a harmless no-op.
+func (f *Fleet) Retire(flow packet.FlowID) *Member {
+	idx := int(flow)
+	if idx >= len(f.Members) || f.Members[idx] == nil {
+		return nil
+	}
+	m := f.Members[idx]
+	m.retired = true
+	m.timer.Stop()
+	m.acks = m.acks[:0]
+	// Freeze the generation's fenced counters: drops and deliveries
+	// charged after this instant belong to the flow's next occupant.
+	m.GenDrops = f.rawDrops(flow) - m.baseDrops
+	m.GenDelivered = f.Recv.Received[flow] - m.baseDelivered
+	f.flows[idx].injected += m.Injected
+	f.Members[idx] = nil
+	return m
+}
+
+// AllocFlow returns the lowest flow ID that can host a new member
+// without counter ambiguity: a vacant slot whose traffic has fully
+// drained. When every vacant slot still has packets in flight it
+// extends the flow space instead — a fresh ID is always safe.
+func (f *Fleet) AllocFlow() packet.FlowID {
+	for i := range f.Members {
+		if f.Members[i] == nil && f.InFlight(packet.FlowID(i)) == 0 {
+			return packet.FlowID(i)
+		}
+	}
+	return packet.FlowID(len(f.Members))
+}
+
+// NextGen reports the generation the next member admitted on the flow
+// will receive, so a restart can compute its stagger offset before
+// attaching.
+func (f *Fleet) NextGen(flow packet.FlowID) uint32 {
+	idx := int(flow)
+	if idx >= len(f.flows) {
+		return 0
+	}
+	return f.flows[idx].gens
+}
+
+// StaggerOffset recomputes the start-time stagger for a mid-run
+// admission: a deterministic hash of (flow, generation) spread over the
+// configured stagger window, so restarts and arrivals de-synchronize
+// from the incumbents instead of landing on one instant.
+func (f *Fleet) StaggerOffset(flow packet.FlowID, gen uint32) time.Duration {
+	if f.Cfg.Stagger <= 0 {
+		return 0
+	}
+	h := uint64(flow)*0x9e3779b97f4a7c15 + uint64(gen)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	h ^= h >> 29
+	return time.Duration(h % uint64(f.Cfg.Stagger))
+}
+
+// PriorStates returns the enumerated prior every member starts from.
+// Callers must treat the slice and its states as read-only.
+func (f *Fleet) PriorStates() []model.State { return f.states }
+
+// MemberBeliefConfig returns the resolved belief configuration members
+// are built with (pool included), so a checkpoint restore reconstructs
+// an identical belief.
+func (f *Fleet) MemberBeliefConfig() belief.Config { return f.bcfg }
+
+// MemberPlanConfig returns the resolved planner configuration members
+// are built with (pool included).
+func (f *Fleet) MemberPlanConfig() planner.Config { return f.pcfg }
 
 // CacheStats reports the shared policy cache's Decide-path hit/miss
 // counters (zeros when the cache is disabled). Guard fallback probes
@@ -463,6 +681,9 @@ func (f *Fleet) CacheStats() (hits, misses int) {
 // through to live planning. Zeros when no table is wired.
 func (f *Fleet) CompiledStats() (compiled, live int64) {
 	for _, m := range f.Members {
+		if m == nil {
+			continue
+		}
 		if g := m.Sender.Guard; g != nil {
 			compiled += g.CompiledHits
 			live += g.Live
@@ -493,6 +714,11 @@ func (c Config) ResolvedPrior() model.Prior {
 type Member struct {
 	// Flow is the member's flow, also its index in Fleet.Members.
 	Flow packet.FlowID
+	// Gen is the member's generation on its flow: 0 for the flow's
+	// first occupant, incremented each time the flow is recycled by a
+	// restart or a fresh admission. (Flow, Gen) is a member identity
+	// that survives flow-ID reuse.
+	Gen uint32
 	// Sender is the ISENDER endpoint.
 	Sender *core.Sender
 	// SentSeq and AckedSeq are the run series for this flow.
@@ -504,14 +730,39 @@ type Member struct {
 	// packets: the realized delivery utility of the flow under the
 	// member's own discount timescale.
 	Utility float64
+	// Injected counts packets this member generation put on the wire.
+	Injected int64
+	// UtilCum is the cumulative Utility sampled at each acknowledgment,
+	// so lifecycle experiments can window utility (ramp-up, post-restart
+	// ratios) the way AckedSeq windows throughput.
+	UtilCum stats.Series
+	// SupportN samples the belief's support size at each wake: the
+	// posterior-convergence trace. A warm-restored member starts at its
+	// predecessor's converged size; a cold one starts at the full prior
+	// and pays updates until the posterior collapses.
+	SupportN stats.Series
+	// AdmittedAt is the virtual time this generation joined the fleet.
+	AdmittedAt time.Duration
+	// GenDrops and GenDelivered are the generation's fenced bottleneck
+	// drops and deliveries, frozen at retirement (zero while live — use
+	// Fleet.FlowDrops / Fleet.Delivered for a live member).
+	GenDrops, GenDelivered int
 
-	loop   *sim.Loop
-	out    elements.Node
-	timer  *sim.Timer
-	acks   []packet.Ack
-	notify func(*Member)
-	queued bool
+	loop    *sim.Loop
+	out     elements.Node
+	timer   *sim.Timer
+	acks    []packet.Ack
+	notify  func(*Member)
+	queued  bool
+	retired bool
+	// baseDelivered/baseDrops fence the shared per-flow counters at
+	// admission time (see Fleet.Delivered / Fleet.FlowDrops).
+	baseDelivered, baseDrops int
 }
+
+// Retired reports whether the member has been torn down; a retired
+// member never decides or sends again.
+func (m *Member) Retired() bool { return m.retired }
 
 // NewMember returns a standalone member (immediate wake per
 // acknowledgment) sending into out. Fleet members are built by New,
@@ -539,6 +790,7 @@ func (m *Member) OnAck(a packet.Ack) {
 	delay := a.Delay()
 	m.Delay.Add(delay.Seconds())
 	m.Utility += float64(packet.DefaultSizeBits) * m.Sender.Plan.Util.Discount(delay)
+	m.UtilCum.Add(m.loop.Now(), m.Utility)
 	m.acks = append(m.acks, a)
 	if m.notify != nil {
 		m.notify(m)
@@ -548,12 +800,22 @@ func (m *Member) OnAck(a packet.Ack) {
 }
 
 func (m *Member) wake() {
+	if m.retired {
+		// A wake already scheduled when the member was torn down (a
+		// Start offset, a queued drain, the disarmed timer's last
+		// event) lands here harmlessly instead of re-arming anything.
+		return
+	}
 	now := m.loop.Now()
 	acks := m.acks
 	m.acks = m.acks[:0]
 	act := m.Sender.Wake(now, acks)
+	// Support() is cached after the wake's own decision, so this read
+	// costs no recomputation.
+	m.SupportN.Add(now, float64(len(m.Sender.Belief.Support())))
 	for _, snd := range act.Sends {
 		m.SentSeq.Add(now, float64(snd.Seq))
+		m.Injected++
 		m.out.Receive(packet.Packet{
 			Flow:      m.Flow,
 			Seq:       snd.Seq,

@@ -1,0 +1,674 @@
+// Package lifecycle is the fleet's member lifecycle and crash-recovery
+// runtime: versioned binary checkpoints of a member's full decision
+// state, a Supervisor that watches member health and restarts failures
+// through a hot/warm/cold ladder, and an Admission controller that
+// drives deterministic churn schedules from seeded chaos streams.
+//
+// A checkpoint captures everything a member needs to resume making the
+// same decisions an uninterrupted member would: the belief posterior
+// (Exact hypotheses or the raw Particle population with its RNG stream
+// word), pending sends, the soft-matching ack memory, the sender's
+// sequence/throughput counters, and the planner Guard's last safe
+// pacing action. The header binds the checkpoint to its model identity
+// via policy.HashPrior over the fleet's resolved prior and PolicyCache
+// quanta — restoring against a different prior is a detected error,
+// never a silently wrong belief — and the body is checksummed, so a
+// corrupted or truncated file is a clean error, never a panic.
+//
+// The restart ladder, fastest first:
+//
+//	hot  — the fleet serves a compiled policy.Table: a fresh member
+//	       answers rung-0 probes from the table immediately, before its
+//	       belief has learned anything;
+//	warm — the member's last checkpoint restores the belief it had
+//	       already converged to;
+//	cold — the prior alone, re-learning from scratch.
+//
+// Warm restores compose with the table (the restored member keeps the
+// table as Guard rung 0), and every restarted member still degrades
+// through planner.Guard's in-decision ladder (table → live → cache →
+// last-safe → sleep); this package's ladder chooses where a member
+// *starts*, the Guard's chooses how each *decision* is served.
+package lifecycle
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/core"
+	"modelcc/internal/fleet"
+	"modelcc/internal/model"
+	"modelcc/internal/packet"
+	"modelcc/internal/policy"
+	"modelcc/internal/units"
+)
+
+// Version is the checkpoint format version this package reads and
+// writes.
+const Version = 1
+
+// magic identifies a member checkpoint file.
+var magic = [8]byte{'M', 'C', 'L', 'C', 'K', 'P', 'T', '1'}
+
+const (
+	headerSize = 56
+
+	// Decode caps: a corrupted length field must produce an error, not
+	// an attempted multi-gigabyte allocation.
+	maxHyps    = 1 << 21
+	maxPending = 1 << 20
+	maxRecent  = 1 << 20
+	maxQueue   = 1 << 20
+)
+
+// Checkpoint is one member's full decision state at an instant.
+type Checkpoint struct {
+	// Flow and Gen identify the member generation that was captured.
+	Flow packet.FlowID
+	Gen  uint32
+	// PriorHash binds the checkpoint to the model identity it was
+	// captured under (policy.HashPrior over the resolved prior and the
+	// fleet cache quanta); Restore against a different hash is refused.
+	PriorHash uint64
+	// At is the virtual capture time.
+	At time.Duration
+	// NextSeq, Sent, Acked, Wakes are the sender's counters.
+	NextSeq, Sent, Acked, Wakes int64
+	// LastSafeDelta/HaveSafe are the Guard's remembered safe pacing
+	// action (rung 3 of the degradation ladder).
+	LastSafeDelta time.Duration
+	HaveSafe      bool
+	// Utility and Injected carry the member's accounting, for
+	// provenance (a restored member starts fresh fenced counters).
+	Utility  float64
+	Injected int64
+	// Belief is the belief snapshot (kind, posterior, pending sends,
+	// ack memory, RNG stream).
+	Belief belief.Snapshot
+}
+
+// Capture snapshots a live member under the given prior hash. It does
+// not mutate the member. Acknowledgments delivered in the current
+// instant but not yet folded into the belief are not captured; the
+// belief's soft matching absorbs the at-most-one-instant gap on
+// restore.
+func Capture(m *fleet.Member, priorHash uint64) (*Checkpoint, error) {
+	c := &Checkpoint{
+		Flow:      m.Flow,
+		Gen:       m.Gen,
+		PriorHash: priorHash,
+		NextSeq:   m.Sender.NextSeq(),
+		Sent:      m.Sender.Sent,
+		Acked:     m.Sender.Acked,
+		Wakes:     m.Sender.Wakes,
+		Utility:   m.Utility,
+		Injected:  m.Injected,
+	}
+	switch b := m.Sender.Belief.(type) {
+	case *belief.Exact:
+		c.Belief = b.Snapshot()
+	case *belief.Particle:
+		c.Belief = b.Snapshot()
+	default:
+		return nil, fmt.Errorf("lifecycle: belief kind %T is not checkpointable", m.Sender.Belief)
+	}
+	c.At = c.Belief.Now
+	if g := m.Sender.Guard; g != nil {
+		c.LastSafeDelta, c.HaveSafe = g.LastSafe()
+	}
+	return c, nil
+}
+
+// RestoreSender rebuilds a sender from the checkpoint against a fleet's
+// resolved prior and configs. The caller supplies the fleet's prior
+// hash; a mismatch — the checkpoint was captured under a different
+// model or quanta — is a detected error. The sender is not yet wired
+// into the fleet; admit it with Fleet.AdmitSender, then reinstate the
+// Guard's safe action with RestoreGuard.
+func RestoreSender(fl *fleet.Fleet, c *Checkpoint, priorHash uint64) (*core.Sender, error) {
+	if c.PriorHash != priorHash {
+		return nil, fmt.Errorf("lifecycle: checkpoint bound to prior %016x, fleet resolves to %016x (model or quanta mismatch)", c.PriorHash, priorHash)
+	}
+	var (
+		b   belief.Belief
+		err error
+	)
+	if c.Belief.Particle {
+		b, err = belief.RestoreParticle(fl.PriorStates(), fl.MemberBeliefConfig(), c.Belief)
+	} else {
+		b, err = belief.RestoreExact(fl.PriorStates(), fl.MemberBeliefConfig(), c.Belief)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := core.NewSender(b, fl.MemberPlanConfig())
+	s.SetNextSeq(c.NextSeq)
+	s.Sent = c.Sent
+	s.Acked = c.Acked
+	s.Wakes = c.Wakes
+	return s, nil
+}
+
+// RestoreGuard reinstates the checkpointed safe pacing action on an
+// admitted member's Guard (no-op when the member has none or the
+// checkpoint recorded none).
+func RestoreGuard(m *fleet.Member, c *Checkpoint) {
+	if g := m.Sender.Guard; g != nil && c.HaveSafe {
+		g.RestoreLastSafe(c.LastSafeDelta)
+	}
+}
+
+// FleetPriorHash computes the identity a fleet's member checkpoints are
+// bound to: policy.HashPrior over the resolved prior and the shared
+// PolicyCache's fingerprint quanta (zero quanta when the cache is
+// disabled).
+func FleetPriorHash(fl *fleet.Fleet) uint64 {
+	var (
+		tq time.Duration
+		wq float64
+	)
+	if fl.Cache != nil {
+		tq, wq = fl.Cache.TimeQuantum, fl.Cache.WeightQuantum
+	}
+	return policy.HashPrior(fl.Cfg.ResolvedPrior(), tq, wq)
+}
+
+// ---- binary encoding ----
+//
+// Little-endian throughout, mirroring internal/policy's table format.
+//
+//	offset size  field
+//	0      8     magic "MCLCKPT1"
+//	8      4     version
+//	12     4     flow
+//	16     4     generation
+//	20     4     belief kind (0 exact, 1 particle)
+//	24     8     prior hash
+//	32     8     capture time (ns)
+//	40     8     body length
+//	48     8     FNV-1a checksum of bytes 0..48 plus the body
+//	56     ...   body
+
+type writer struct{ b []byte }
+
+func (w *writer) u8(v uint8) { w.b = append(w.b, v) }
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) u32(v uint32) { w.b = append(w.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+func (w *writer) u64(v uint64) {
+	w.b = append(w.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+func (w *writer) i64(v int64)         { w.u64(uint64(v)) }
+func (w *writer) f64(v float64)       { w.u64(math.Float64bits(v)) }
+func (w *writer) dur(v time.Duration) { w.i64(int64(v)) }
+
+// errTruncated is the canonical short-input decode error.
+var errTruncated = errors.New("lifecycle: checkpoint truncated")
+
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) u8() (uint8, error) {
+	if r.off+1 > len(r.b) {
+		return 0, errTruncated
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) bool() (bool, error) {
+	v, err := r.u8()
+	if err != nil {
+		return false, err
+	}
+	if v > 1 {
+		return false, errors.New("lifecycle: checkpoint has invalid boolean")
+	}
+	return v == 1, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, errTruncated
+	}
+	v := uint32(r.b[r.off]) | uint32(r.b[r.off+1])<<8 | uint32(r.b[r.off+2])<<16 | uint32(r.b[r.off+3])<<24
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, errTruncated
+	}
+	v := uint64(r.b[r.off]) | uint64(r.b[r.off+1])<<8 | uint64(r.b[r.off+2])<<16 | uint64(r.b[r.off+3])<<24 |
+		uint64(r.b[r.off+4])<<32 | uint64(r.b[r.off+5])<<40 | uint64(r.b[r.off+6])<<48 | uint64(r.b[r.off+7])<<56
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) i64() (int64, error) { v, err := r.u64(); return int64(v), err }
+
+func (r *reader) f64() (float64, error) {
+	v, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	f := math.Float64frombits(v)
+	return f, nil
+}
+
+func (r *reader) dur() (time.Duration, error) { v, err := r.i64(); return time.Duration(v), err }
+
+// Encode serializes the checkpoint. Encoding is canonical: two
+// checkpoints of the same state produce identical bytes.
+func (c *Checkpoint) Encode() []byte {
+	var body writer
+	body.i64(c.NextSeq)
+	body.i64(c.Sent)
+	body.i64(c.Acked)
+	body.i64(c.Wakes)
+	body.dur(c.LastSafeDelta)
+	body.bool(c.HaveSafe)
+	body.f64(c.Utility)
+	body.i64(c.Injected)
+
+	sn := &c.Belief
+	body.dur(sn.Now)
+	body.u64(sn.RNG)
+	body.i64(int64(sn.Resamples))
+	body.i64(int64(sn.Cum.Branches))
+	body.i64(int64(sn.Cum.Rejected))
+	body.i64(int64(sn.Cum.Merged))
+	body.i64(int64(sn.Cum.Floored))
+	body.i64(int64(sn.Cum.Relaxed))
+	body.i64(int64(sn.Cum.Reseeded))
+	body.i64(int64(sn.Cum.N))
+	body.u32(uint32(len(sn.Pending)))
+	for _, s := range sn.Pending {
+		body.i64(s.Seq)
+		body.dur(s.At)
+		body.i64(s.Bits)
+	}
+	body.u32(uint32(len(sn.Recent)))
+	for _, m := range sn.Recent {
+		body.i64(m.Seq)
+		body.dur(m.At)
+	}
+	body.u32(uint32(len(sn.Hyps)))
+	for i := range sn.Hyps {
+		body.f64(sn.Hyps[i].W)
+		encodeState(&body, &sn.Hyps[i].S)
+	}
+
+	var out writer
+	out.b = make([]byte, 0, headerSize+len(body.b))
+	out.b = append(out.b, magic[:]...)
+	out.u32(Version)
+	out.u32(uint32(c.Flow))
+	out.u32(c.Gen)
+	kind := uint32(0)
+	if sn.Particle {
+		kind = 1
+	}
+	out.u32(kind)
+	out.u64(c.PriorHash)
+	out.dur(c.At)
+	out.u64(uint64(len(body.b)))
+	out.u64(checksum(out.b[:48], body.b))
+	out.b = append(out.b, body.b...)
+	return out.b
+}
+
+// encodeState serializes one model.State. The queue is written from the
+// live window (states in snapshots are cloned, so QHead is 0, but
+// Queued() keeps this correct regardless); QueueBits is recomputed at
+// decode rather than trusted.
+func encodeState(w *writer, s *model.State) {
+	w.u32(uint32(s.ParamsID))
+	w.f64(float64(s.P.LinkRate))
+	w.f64(float64(s.P.CrossRate))
+	w.dur(s.P.MeanSwitch)
+	w.f64(s.P.LossProb)
+	w.i64(s.P.BufferCapBits)
+	w.i64(s.P.InitFullBits)
+	w.f64(s.P.ClockSkew)
+	w.i64(int64(s.P.PktBytes))
+	w.i64(s.P.CrossPktBits)
+
+	w.dur(s.Now)
+	w.bool(s.PingerOn)
+	w.dur(s.NextCross)
+	w.dur(s.NextToggle)
+	w.dur(s.SwitchTick)
+	w.bool(s.Serving)
+	encodeQPkt(w, s.InService)
+	w.dur(s.ServiceDone)
+	q := s.Queued()
+	w.u32(uint32(len(q)))
+	for _, p := range q {
+		encodeQPkt(w, p)
+	}
+}
+
+func encodeQPkt(w *writer, p model.QPkt) {
+	w.bool(p.Own)
+	w.i64(p.Seq)
+	w.i64(p.Bits)
+	w.dur(p.EnqueuedAt)
+}
+
+// checksum hashes the header prefix (everything before the checksum
+// field itself) and the body region (FNV-1a, like the policy table's
+// record checksum), so a flipped bit anywhere in the file is caught.
+func checksum(header, body []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(header)
+	h.Write(body)
+	return h.Sum64()
+}
+
+// Decode parses a checkpoint. Corrupted, truncated, or internally
+// inconsistent input yields an error — never a panic, never a silently
+// wrong belief (the caller still must check the prior hash against its
+// own model via RestoreSender).
+func Decode(b []byte) (*Checkpoint, error) {
+	if len(b) < headerSize {
+		return nil, errTruncated
+	}
+	r := &reader{b: b}
+	var got [8]byte
+	copy(got[:], b[:8])
+	r.off = 8
+	if got != magic {
+		return nil, errors.New("lifecycle: not a member checkpoint (bad magic)")
+	}
+	ver, _ := r.u32()
+	if ver != Version {
+		return nil, fmt.Errorf("lifecycle: checkpoint version %d, this build reads %d", ver, Version)
+	}
+	flow, _ := r.u32()
+	gen, _ := r.u32()
+	kind, _ := r.u32()
+	if kind > 1 {
+		return nil, fmt.Errorf("lifecycle: unknown belief kind %d", kind)
+	}
+	priorHash, _ := r.u64()
+	at, _ := r.dur()
+	bodyLen, _ := r.u64()
+	sum, _ := r.u64()
+	if bodyLen != uint64(len(b)-headerSize) {
+		return nil, errors.New("lifecycle: checkpoint body length mismatch (truncated or padded)")
+	}
+	body := b[headerSize:]
+	if checksum(b[:48], body) != sum {
+		return nil, errors.New("lifecycle: checkpoint checksum mismatch (corrupted)")
+	}
+
+	c := &Checkpoint{
+		Flow:      packet.FlowID(flow),
+		Gen:       gen,
+		PriorHash: priorHash,
+		At:        at,
+	}
+	c.Belief.Particle = kind == 1
+	r = &reader{b: body}
+	var err error
+	read := func(dst *int64) {
+		if err == nil {
+			*dst, err = r.i64()
+		}
+	}
+	read(&c.NextSeq)
+	read(&c.Sent)
+	read(&c.Acked)
+	read(&c.Wakes)
+	if err == nil {
+		c.LastSafeDelta, err = r.dur()
+	}
+	if err == nil {
+		c.HaveSafe, err = r.bool()
+	}
+	if err == nil {
+		c.Utility, err = r.f64()
+	}
+	read(&c.Injected)
+
+	sn := &c.Belief
+	if err == nil {
+		sn.Now, err = r.dur()
+	}
+	if err == nil {
+		sn.RNG, err = r.u64()
+	}
+	var tmp int64
+	readInt := func(dst *int) {
+		if err == nil {
+			tmp, err = r.i64()
+			*dst = int(tmp)
+		}
+	}
+	readInt(&sn.Resamples)
+	readInt(&sn.Cum.Branches)
+	readInt(&sn.Cum.Rejected)
+	readInt(&sn.Cum.Merged)
+	readInt(&sn.Cum.Floored)
+	readInt(&sn.Cum.Relaxed)
+	readInt(&sn.Cum.Reseeded)
+	readInt(&sn.Cum.N)
+	if err != nil {
+		return nil, err
+	}
+
+	nPending, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nPending > maxPending {
+		return nil, fmt.Errorf("lifecycle: checkpoint claims %d pending sends (corrupt)", nPending)
+	}
+	if nPending > 0 {
+		sn.Pending = make([]model.Send, nPending)
+		for i := range sn.Pending {
+			s := &sn.Pending[i]
+			if s.Seq, err = r.i64(); err != nil {
+				return nil, err
+			}
+			if s.At, err = r.dur(); err != nil {
+				return nil, err
+			}
+			if s.Bits, err = r.i64(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	nRecent, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nRecent > maxRecent {
+		return nil, fmt.Errorf("lifecycle: checkpoint claims %d recent acks (corrupt)", nRecent)
+	}
+	if nRecent > 0 {
+		sn.Recent = make([]belief.AckMemo, nRecent)
+		for i := range sn.Recent {
+			m := &sn.Recent[i]
+			if m.Seq, err = r.i64(); err != nil {
+				return nil, err
+			}
+			if m.At, err = r.dur(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	nHyps, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nHyps == 0 {
+		return nil, errors.New("lifecycle: checkpoint has no hypotheses")
+	}
+	if nHyps > maxHyps {
+		return nil, fmt.Errorf("lifecycle: checkpoint claims %d hypotheses (corrupt)", nHyps)
+	}
+	sn.Hyps = make([]belief.Hypothesis, nHyps)
+	for i := range sn.Hyps {
+		h := &sn.Hyps[i]
+		if h.W, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if err = decodeState(r, &h.S); err != nil {
+			return nil, err
+		}
+	}
+	if r.off != len(body) {
+		return nil, errors.New("lifecycle: checkpoint has trailing bytes")
+	}
+	return c, nil
+}
+
+// decodeState parses one model.State, recomputing the derived queue
+// occupancy instead of trusting the wire.
+func decodeState(r *reader, s *model.State) error {
+	var err error
+	var pid uint32
+	if pid, err = r.u32(); err != nil {
+		return err
+	}
+	s.ParamsID = int32(pid)
+	rf := func(dst *float64) {
+		if err == nil {
+			*dst, err = r.f64()
+		}
+	}
+	var lr, cr float64
+	rf(&lr)
+	rf(&cr)
+	s.P.LinkRate = units.BitRate(lr)
+	s.P.CrossRate = units.BitRate(cr)
+	if err == nil {
+		s.P.MeanSwitch, err = r.dur()
+	}
+	rf(&s.P.LossProb)
+	ri := func(dst *int64) {
+		if err == nil {
+			*dst, err = r.i64()
+		}
+	}
+	ri(&s.P.BufferCapBits)
+	ri(&s.P.InitFullBits)
+	rf(&s.P.ClockSkew)
+	var pktBytes int64
+	ri(&pktBytes)
+	s.P.PktBytes = int(pktBytes)
+	ri(&s.P.CrossPktBits)
+
+	if err == nil {
+		s.Now, err = r.dur()
+	}
+	if err == nil {
+		s.PingerOn, err = r.bool()
+	}
+	if err == nil {
+		s.NextCross, err = r.dur()
+	}
+	if err == nil {
+		s.NextToggle, err = r.dur()
+	}
+	if err == nil {
+		s.SwitchTick, err = r.dur()
+	}
+	if err == nil {
+		s.Serving, err = r.bool()
+	}
+	if err == nil {
+		s.InService, err = decodeQPkt(r)
+	}
+	if err == nil {
+		s.ServiceDone, err = r.dur()
+	}
+	if err != nil {
+		return err
+	}
+	nQ, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if nQ > maxQueue {
+		return fmt.Errorf("lifecycle: checkpoint claims %d queued packets (corrupt)", nQ)
+	}
+	s.Queue = nil
+	s.QHead = 0
+	s.QueueBits = 0
+	if nQ > 0 {
+		s.Queue = make([]model.QPkt, nQ)
+		for i := range s.Queue {
+			if s.Queue[i], err = decodeQPkt(r); err != nil {
+				return err
+			}
+			s.QueueBits += s.Queue[i].Bits
+		}
+	}
+	return nil
+}
+
+func decodeQPkt(r *reader) (model.QPkt, error) {
+	var p model.QPkt
+	var err error
+	if p.Own, err = r.bool(); err != nil {
+		return p, err
+	}
+	if p.Seq, err = r.i64(); err != nil {
+		return p, err
+	}
+	if p.Bits, err = r.i64(); err != nil {
+		return p, err
+	}
+	p.EnqueuedAt, err = r.dur()
+	return p, err
+}
+
+// WriteFile writes the checkpoint atomically (tmp + rename, like
+// policy.WriteTable) so a crash mid-write never leaves a torn file a
+// later restore could trip on.
+func (c *Checkpoint) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(c.Encode()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile loads and decodes a checkpoint file.
+func ReadFile(path string) (*Checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}

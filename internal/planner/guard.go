@@ -83,6 +83,12 @@ type Guard struct {
 	SafeFallbacks int64
 	Timeouts      int64
 	Overlaps      int64
+	// ConsecutiveOverruns counts deadline overruns (timeouts and
+	// overlapped calls) since the last decision the live planner or the
+	// compiled table answered — the "planner is wedged" signal a
+	// lifecycle Supervisor declares failure on. A cache hit does not
+	// reset it: serving stale near-matches is survival, not health.
+	ConsecutiveOverruns int64
 
 	// RecordLatency, when true, appends each Decide call's wall-clock
 	// duration in nanoseconds to Latencies — benchmark instrumentation
@@ -120,6 +126,7 @@ func (g *Guard) Decide(sup []belief.Hypothesis, pending []model.Send, now time.D
 	if g.Compiled != nil {
 		if d, ok := g.Compiled.Probe(sup, pending, now); ok {
 			g.CompiledHits++
+			g.ConsecutiveOverruns = 0
 			g.noteSafe(d, now)
 			return d
 		}
@@ -132,6 +139,7 @@ func (g *Guard) Decide(sup []belief.Hypothesis, pending []model.Send, now time.D
 			d = Decide(sup, pending, now, seq, cfg)
 		}
 		g.Live++
+		g.ConsecutiveOverruns = 0
 		if g.Compiled != nil {
 			g.Compiled.RecordMiss(sup, pending, now, d)
 		}
@@ -153,6 +161,7 @@ func (g *Guard) Decide(sup []belief.Hypothesis, pending []model.Send, now time.D
 		// goroutine on a planner that is already too slow only digs the
 		// hole deeper.
 		g.Overlaps++
+		g.ConsecutiveOverruns++
 		return g.fallback(sup, pending, now, cfg)
 	}
 
@@ -181,6 +190,7 @@ func (g *Guard) Decide(sup []belief.Hypothesis, pending []model.Send, now time.D
 		g.inflight = nil
 		g.absorb(res)
 		g.Live++
+		g.ConsecutiveOverruns = 0
 		if g.Compiled != nil {
 			g.Compiled.RecordMiss(sup, pending, now, res.d)
 		}
@@ -188,7 +198,43 @@ func (g *Guard) Decide(sup []belief.Hypothesis, pending []model.Send, now time.D
 		return res.d
 	case <-timer.C:
 		g.Timeouts++
+		g.ConsecutiveOverruns++
 		return g.fallback(sup, pending, now, cfg)
+	}
+}
+
+// Health is a copy of the Guard's counters, read together: the
+// heartbeat a lifecycle Supervisor samples per health-check interval.
+type Health struct {
+	Live, CompiledHits, CacheHits int64
+	SafeFallbacks, Timeouts       int64
+	Overlaps, ConsecutiveOverruns int64
+}
+
+// Health snapshots the counters.
+func (g *Guard) Health() Health {
+	return Health{
+		Live:                g.Live,
+		CompiledHits:        g.CompiledHits,
+		CacheHits:           g.CacheHits,
+		SafeFallbacks:       g.SafeFallbacks,
+		Timeouts:            g.Timeouts,
+		Overlaps:            g.Overlaps,
+		ConsecutiveOverruns: g.ConsecutiveOverruns,
+	}
+}
+
+// LastSafe reports the remembered safe pacing interval (rung 3's replay
+// delta) and whether one exists — checkpointed so a warm-restored
+// member degrades exactly as the original would.
+func (g *Guard) LastSafe() (time.Duration, bool) { return g.lastSafeDelta, g.haveSafe }
+
+// RestoreLastSafe reinstates a checkpointed safe pacing interval;
+// non-positive deltas are ignored (they could never have been recorded).
+func (g *Guard) RestoreLastSafe(delta time.Duration) {
+	if delta > 0 {
+		g.lastSafeDelta = delta
+		g.haveSafe = true
 	}
 }
 

@@ -139,3 +139,20 @@ func (r *Rand) Uint64() uint64 {
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
+
+// Intn returns a draw in [0, n). n must be positive. The modulo bias is
+// at most n/2^64 — irrelevant for the small n (prior sizes, particle
+// counts) this is used with.
+func (r *Rand) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// State exposes the stream's single word of state so a belief carrying
+// a Rand can be checkpointed; RandFromState reconstructs the identical
+// stream. Round-trip invariant: RandFromState(r.State()) continues
+// exactly where r would have.
+func (r Rand) State() uint64 { return r.s }
+
+// RandFromState rebuilds a stream from a State() word (or seeds a fresh
+// one from any 64-bit value).
+func RandFromState(s uint64) Rand { return Rand{s: s} }
