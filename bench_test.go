@@ -21,6 +21,7 @@ import (
 	"modelcc/internal/model"
 	"modelcc/internal/packet"
 	"modelcc/internal/planner"
+	"modelcc/internal/shard"
 	"modelcc/internal/utility"
 )
 
@@ -196,6 +197,48 @@ func BenchmarkFleet(b *testing.B) {
 					printed = true
 					hits, misses := fl.CacheStats()
 					b.Logf("n=%d: drops=%d cache=%d/%d", n, fl.Drops(), hits, misses)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetSharded measures the sharded runtime (internal/shard):
+// the same fleet workload as BenchmarkFleet, split across K parallel
+// per-shard DES loops coupled by windowed lookahead. Results are
+// bit-identical to BenchmarkFleet's fleet for every K (the shard
+// package's determinism tests pin this); the benchmark exists to price
+// the coordination and to measure scaling where GOMAXPROCS > 1. Lean
+// variants drop per-packet series retention — the heap knob that keeps
+// N=4096 flat.
+func BenchmarkFleetSharded(b *testing.B) {
+	for _, c := range []struct {
+		n, shards int
+		lean      bool
+	}{
+		{256, 1, false},
+		{256, 4, false},
+		{256, 8, false},
+		{1024, 8, true},
+	} {
+		name := fmt.Sprintf("n=%d/shards=%d", c.n, c.shards)
+		if c.lean {
+			name += "/lean"
+		}
+		b.Run(name, func(b *testing.B) {
+			printed := false
+			for i := 0; i < b.N; i++ {
+				cfg := fleet.Config{N: c.n, Seed: 7, LeanStats: c.lean}
+				if c.lean {
+					cfg.LeanRateFrom = 15 * time.Second
+				}
+				sf := shard.New(shard.Config{Fleet: cfg, Shards: c.shards})
+				sf.Run(30 * time.Second)
+				if !printed {
+					printed = true
+					hits, misses := sf.CacheStats()
+					b.Logf("n=%d shards=%d: drops=%d cache=%d/%d digest=%016x",
+						c.n, c.shards, sf.Drops(), hits, misses, sf.Digest())
 				}
 			}
 		})

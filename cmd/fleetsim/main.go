@@ -5,7 +5,13 @@
 // Two modes:
 //
 //   - Fairness sweep (default): one steady fleet per size; reports
-//     Jain's index, per-flow throughput/delay, aggregate utility.
+//     Jain's index, per-flow throughput/delay, aggregate utility. By
+//     default each fleet runs on the sharded runtime (internal/shard):
+//     one DES loop per CPU, coupled through the shared bottleneck by
+//     deterministic windowed lookahead. Results are bit-identical
+//     for every shard count >= 1. -shards 0 forces the default
+//     single-loop fleet, whose arrival-order scheduling takes a
+//     different (equally deterministic) trajectory.
 //   - Churn (-churn): the fleet lives under a seeded churn schedule —
 //     arrivals, departures, crash-kills — with the lifecycle
 //     Supervisor checkpointing members and restarting casualties
@@ -16,6 +22,8 @@
 //	go run ./cmd/fleetsim [-n 2,4,16,64,256] [-dur 120s] [-seed 1]
 //	                      [-alpha 1] [-rate 6000] [-fq] [-workers 0]
 //	                      [-per-flow] [-no-cache] [-jain-floor 0]
+//	                      [-shards N] [-lean]
+//	                      [-cpuprofile f] [-memprofile f] [-trace f]
 //	go run ./cmd/fleetsim -churn [-epoch 10s] [-depart .04] [-crash .06]
 //	                      [-arrive .5] [-no-ckpt] [-checkpoint-dir d]
 //	                      [-json out.json]
@@ -26,6 +34,8 @@
 //	go run ./cmd/fleetsim -fq                      # DRR fair-queue bottleneck
 //	go run ./cmd/fleetsim -n 256 -per-flow         # every flow's numbers
 //	go run ./cmd/fleetsim -churn -smoke            # CI churn soak
+//	go run ./cmd/fleetsim -churn -shards 4 -smoke  # sharded-lifecycle soak
+//	go run ./cmd/fleetsim -n 256 -shards 8 -lean   # big fleet, flat heap
 //	go run ./cmd/fleetsim -jain-floor 0.9          # exit 3 if any point under
 //
 // Exit status: 0 on success, 2 on usage errors, 3 when any point's
@@ -37,6 +47,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -56,6 +69,11 @@ func main() {
 	perFlow := flag.Bool("per-flow", false, "print every flow's throughput/delay/drops (fairness mode)")
 	noCache := flag.Bool("no-cache", false, "disable the fleet-wide shared policy cache (fairness mode)")
 	jainFloor := flag.Float64("jain-floor", 0, "exit non-zero when any point's Jain index is below this floor")
+	shards := flag.Int("shards", runtime.NumCPU(), "parallel DES shards per fleet (0 = single-loop fleet); results are bit-identical for any count >= 1")
+	lean := flag.Bool("lean", false, "streaming statistics only: no per-packet series, flat heap at large N")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 
 	churn := flag.Bool("churn", false, "churn mode: supervised lifecycle run instead of a steady fairness sweep")
 	epoch := flag.Duration("epoch", 10*time.Second, "churn decision period")
@@ -68,20 +86,46 @@ func main() {
 	jsonOut := flag.String("json", "", "also write churn results as JSON to this file")
 	flag.Parse()
 
-	sizes, err := parseSizes(*ns)
+	stopProf, err := startProfiling(*cpuprofile, *memprofile, *traceFile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
 		os.Exit(2)
 	}
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
+
+	sizes, err := parseSizes(*ns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+		exit(2)
+	}
+
+	// The churn path only goes sharded when -shards is set explicitly:
+	// the default churn mode is the supervised single-loop lifecycle
+	// (checkpoints, warm restarts), which the barrier-aligned sharded
+	// lifecycle intentionally does not reproduce.
+	shardsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
 
 	if *churn {
-		runChurn(churnOpts{
-			sizes: sizes, dur: *dur, seed: *seed, workers: *workers, fq: *fq,
-			epoch: *epoch, depart: *depart, crash: *crash, arrive: *arrive,
-			noCkpt: *noCkpt, ckptDir: *ckptDir, smoke: *smoke,
-			jsonOut: *jsonOut, jainFloor: *jainFloor,
-		})
-		return
+		if shardsSet && *shards > 0 {
+			runShardChurn(sizes, *dur, *seed, *shards, *workers, *fq, *lean,
+				*epoch, *depart, *crash, *arrive, *smoke, *jsonOut, exit)
+		} else {
+			runChurn(churnOpts{
+				sizes: sizes, dur: *dur, seed: *seed, workers: *workers, fq: *fq,
+				epoch: *epoch, depart: *depart, crash: *crash, arrive: *arrive,
+				noCkpt: *noCkpt, ckptDir: *ckptDir, smoke: *smoke,
+				jsonOut: *jsonOut, jainFloor: *jainFloor, exit: exit,
+			})
+		}
+		exit(0)
 	}
 
 	if len(sizes) == 0 {
@@ -97,17 +141,19 @@ func main() {
 		FairQueue:     *fq,
 		Workers:       *workers,
 		NoSharedCache: *noCache,
+		Shards:        *shards,
+		LeanStats:     *lean,
 	})
 	fmt.Print(res.Render())
 	fmt.Printf("(%v wall)\n", time.Since(start).Round(time.Millisecond))
 
 	if *perFlow {
 		for _, p := range res.Points {
-			fmt.Printf("\nN=%d per flow:\n%-6s %10s %10s %12s %12s %8s %14s\n",
-				p.N, "flow", "pkt/s", "delivered", "delay(s)", "max dly(s)", "drops", "utility")
+			fmt.Printf("\nN=%d per flow:\n%-6s %10s %10s %12s %12s %12s %8s %14s\n",
+				p.N, "flow", "pkt/s", "delivered", "delay(s)", "p99 dly(s)", "max dly(s)", "drops", "utility")
 			for _, fs := range p.PerFlow {
-				fmt.Printf("%-6d %10.4f %10d %12.3f %12.3f %8d %14.1f\n",
-					fs.Flow, fs.Rate, fs.Delivered, fs.MeanDelay, fs.MaxDelay, fs.Drops, fs.Utility)
+				fmt.Printf("%-6d %10.4f %10d %12.3f %12.3f %12.3f %8d %14.1f\n",
+					fs.Flow, fs.Rate, fs.Delivered, fs.MeanDelay, fs.P99Delay, fs.MaxDelay, fs.Drops, fs.Utility)
 			}
 		}
 	}
@@ -115,7 +161,93 @@ func main() {
 	for _, p := range res.Points {
 		jains = append(jains, p.Jain)
 	}
-	checkJainFloor(jains, *jainFloor)
+	checkJainFloor(jains, *jainFloor, exit)
+	exit(0)
+}
+
+// startProfiling arms the requested CPU profile / heap profile /
+// execution trace. The returned stop function finishes all three; call
+// it before every process exit.
+func startProfiling(cpu, mem, tr string) (stop func(), err error) {
+	var cpuF, trF *os.File
+	if cpu != "" {
+		if cpuF, err = os.Create(cpu); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpuF); err != nil {
+			return nil, err
+		}
+	}
+	if tr != "" {
+		if trF, err = os.Create(tr); err != nil {
+			return nil, err
+		}
+		if err = trace.Start(trF); err != nil {
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if trF != nil {
+			trace.Stop()
+			trF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err == nil {
+				runtime.GC()
+				err = pprof.WriteHeapProfile(f)
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fleetsim: heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}
+
+// runShardChurn is the churn mode on the sharded runtime: the
+// barrier-aligned lifecycle (cold restarts only, events on the window
+// grid) whose replay hash is invariant across shard counts.
+func runShardChurn(sizes []int, dur time.Duration, seed int64, shards, workers int,
+	fq, lean bool, epoch time.Duration, depart, crash, arrive float64,
+	smoke bool, jsonOut string, exit func(int)) {
+	if smoke {
+		sizes = []int{8}
+		dur = 60 * time.Second
+	} else if len(sizes) == 0 {
+		sizes = []int{4, 16, 64}
+	}
+	start := time.Now()
+	var points []experiments.ShardChurnResult
+	for _, n := range sizes {
+		points = append(points, experiments.RunShardChurn(experiments.ShardChurnConfig{
+			N: n, Shards: shards, Duration: dur, Seed: seed,
+			Epoch: epoch, DepartProb: depart, CrashProb: crash, ArriveProb: arrive,
+			FairQueue: fq, Workers: workers, LeanStats: lean,
+		}))
+	}
+	fmt.Print(experiments.RenderShardChurn(points))
+	fmt.Printf("(%v wall)\n", time.Since(start).Round(time.Millisecond))
+	for _, p := range points {
+		if p.Stats.Crashes+p.Stats.Departures+p.Stats.Arrivals == 0 {
+			fmt.Fprintf(os.Stderr, "fleetsim: N=%d sharded churn produced no lifecycle events\n", p.Cfg.N)
+			exit(1)
+		}
+	}
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(points, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonOut, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleetsim: writing %s: %v\n", jsonOut, err)
+			exit(1)
+		}
+	}
 }
 
 type churnOpts struct {
@@ -131,6 +263,7 @@ type churnOpts struct {
 	smoke                 bool
 	jsonOut               string
 	jainFloor             float64
+	exit                  func(int)
 }
 
 func runChurn(o churnOpts) {
@@ -166,7 +299,7 @@ func runChurn(o churnOpts) {
 	for _, p := range res.Points {
 		if p.CheckpointErrors > 0 {
 			fmt.Fprintf(os.Stderr, "fleetsim: N=%d saw %d checkpoint errors\n", p.Cfg.N, p.CheckpointErrors)
-			os.Exit(1)
+			o.exit(1)
 		}
 	}
 	if o.jsonOut != "" {
@@ -176,27 +309,27 @@ func runChurn(o churnOpts) {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fleetsim: writing %s: %v\n", o.jsonOut, err)
-			os.Exit(1)
+			o.exit(1)
 		}
 	}
 	var jains []float64
 	for _, p := range res.Points {
 		jains = append(jains, p.Jain)
 	}
-	checkJainFloor(jains, o.jainFloor)
+	checkJainFloor(jains, o.jainFloor, o.exit)
 }
 
 // checkJainFloor exits with status 3 when any point's fairness fell
 // below the requested floor — the CI tripwire for fairness
 // regressions.
-func checkJainFloor(jains []float64, floor float64) {
+func checkJainFloor(jains []float64, floor float64, exit func(int)) {
 	if floor <= 0 {
 		return
 	}
 	for i, j := range jains {
 		if j < floor {
 			fmt.Fprintf(os.Stderr, "fleetsim: point %d Jain %.4f below floor %.4f\n", i, j, floor)
-			os.Exit(3)
+			exit(3)
 		}
 	}
 }

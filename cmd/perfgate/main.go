@@ -1,0 +1,107 @@
+// Command perfgate is the CI performance tripwire: it times one
+// Fleet/n=256 run (the BenchmarkFleet workload) and fails when the
+// senders-per-wall-second rate regresses more than the allowed fraction
+// below the recorded baseline.
+//
+// The baseline is read from a BENCH_<n>.json record (default
+// BENCH_6.json, the newest record carrying an honest Fleet/n=256
+// measurement — BENCH_2's 85.9 senders/s predates the PolicyCache
+// correctness fixes that made the cache stop over-hitting, so BENCH_4
+// re-based the series at 18.9), from either the "current" or the
+// "baseline" section, whichever carries the Fleet/n=256 entry.
+//
+// Usage:
+//
+//	go run ./cmd/perfgate [-bench BENCH_6.json] [-frac 0.7] [-runs 1]
+//	                      [-n 256] [-dur 30s] [-shards 0]
+//
+// Exit status: 0 when the measured rate clears frac × baseline, 1 on a
+// regression, 2 on usage or baseline-file errors. The gate is
+// deliberately loose (default 30% slack) so host jitter does not flake
+// CI; it exists to catch order-of-magnitude regressions in the fleet
+// hot path, not single-digit drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"modelcc/internal/fleet"
+	"modelcc/internal/shard"
+)
+
+type benchRecord struct {
+	Baseline map[string]benchEntry `json:"baseline"`
+	Current  map[string]benchEntry `json:"current"`
+}
+
+type benchEntry struct {
+	SendersPerSec float64 `json:"senders_per_sec"`
+}
+
+func main() {
+	benchFile := flag.String("bench", "BENCH_6.json", "benchmark record holding the Fleet/n=256 baseline")
+	frac := flag.Float64("frac", 0.7, "fail when measured senders/s falls below this fraction of baseline")
+	runs := flag.Int("runs", 1, "timed fleet runs; the best one is compared")
+	n := flag.Int("n", 256, "fleet size (baseline key is Fleet/n=<n>)")
+	dur := flag.Duration("dur", 30*time.Second, "virtual duration per run (the benchmark's window)")
+	shards := flag.Int("shards", 0, "run on the sharded runtime with this many shards (0 = single-loop fleet, the baseline's engine)")
+	flag.Parse()
+
+	baseline, err := readBaseline(*benchFile, fmt.Sprintf("Fleet/n=%d", *n))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	best := 0.0
+	for i := 0; i < *runs; i++ {
+		start := time.Now()
+		cfg := fleet.Config{N: *n, Seed: 7}
+		if *shards > 0 {
+			sf := shard.New(shard.Config{Fleet: cfg, Shards: *shards})
+			sf.Run(*dur)
+		} else {
+			fl := fleet.New(cfg)
+			fl.Run(*dur)
+		}
+		wall := time.Since(start).Seconds()
+		if rate := float64(*n) / wall; rate > best {
+			best = rate
+		}
+	}
+
+	floor := *frac * baseline
+	verdict := "ok"
+	if best < floor {
+		verdict = "REGRESSION"
+	}
+	fmt.Printf("perfgate: Fleet/n=%d %.1f senders/s (baseline %.1f, floor %.1f) %s\n",
+		*n, best, baseline, floor, verdict)
+	if best < floor {
+		os.Exit(1)
+	}
+}
+
+// readBaseline pulls the named benchmark's senders_per_sec from the
+// record, preferring the "current" section (the PR's own measurement)
+// over "baseline" (the prior PR's).
+func readBaseline(path, key string) (float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return 0, fmt.Errorf("%s: %v", path, err)
+	}
+	for _, sec := range []map[string]benchEntry{rec.Current, rec.Baseline} {
+		if e, ok := sec[key]; ok && e.SendersPerSec > 0 {
+			return e.SendersPerSec, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: no %s entry with senders_per_sec", path, key)
+}

@@ -162,6 +162,23 @@ func (t *Throughput) SetRate(r units.BitRate) { t.rate = r }
 // Busy reports whether a packet is currently serializing.
 func (t *Throughput) Busy() bool { return t.busy }
 
+// InService reports the packet currently serializing and the virtual
+// time its transmission completes; ok is false when the link is idle.
+// Because every fleet packet has the same size, the in-service packet
+// is the only one that can complete within one transmit time of now —
+// the lookahead fact the windowed shard coordinator's ack peek builds
+// on.
+func (t *Throughput) InService() (p packet.Packet, doneAt time.Duration, ok bool) {
+	if !t.busy {
+		return packet.Packet{}, 0, false
+	}
+	at, armed := t.done.Deadline()
+	if !armed {
+		return packet.Packet{}, 0, false
+	}
+	return t.inflight, at, true
+}
+
 // Receive implements Node for direct use without an upstream Buffer: the
 // packet is delivered after its serialization delay, with no queueing.
 // Topologies that need queueing must put a Buffer in front.

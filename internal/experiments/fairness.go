@@ -7,6 +7,7 @@ import (
 
 	"modelcc/internal/fleet"
 	"modelcc/internal/packet"
+	"modelcc/internal/shard"
 	"modelcc/internal/stats"
 	"modelcc/internal/units"
 )
@@ -32,6 +33,17 @@ type FairnessConfig struct {
 	Workers int
 	// NoSharedCache disables the fleet-wide policy cache.
 	NoSharedCache bool
+	// Shards runs each fleet on the sharded runtime (internal/shard):
+	// K parallel per-shard DES loops coupled through the bottleneck by
+	// windowed lookahead, bit-identical for every shard count >= 1.
+	// 0 keeps the default single-loop fleet, whose arrival-order
+	// scheduling takes a different (equally deterministic) trajectory.
+	Shards int
+	// LeanStats drops per-packet series retention (streaming moments
+	// and a P² tail estimator only), keeping heap flat at N=4096.
+	// Second-half rates come from the late-ack counter instead of the
+	// acked series; per-flow MaxDelay/P99Delay stay available.
+	LeanStats bool
 }
 
 func (c FairnessConfig) withDefaults() FairnessConfig {
@@ -60,6 +72,9 @@ type FlowStat struct {
 	// MeanDelay and MaxDelay summarize the flow's one-way packet delay
 	// in seconds.
 	MeanDelay, MaxDelay float64
+	// P99Delay is the flow's streaming 99th-percentile one-way delay in
+	// seconds (P² estimator — O(1) space, available in lean runs too).
+	P99Delay float64
 	// Drops counts the flow's packets discarded at the bottleneck.
 	Drops int
 	// Utility is the flow's realized delivery utility,
@@ -101,16 +116,28 @@ type FairnessResult struct {
 	Points []FairnessPoint
 }
 
+// fleetRuntime is the read surface the fairness reduction needs. The
+// single-loop fleet and the sharded runtime both satisfy it, so one
+// reduction serves either engine.
+type fleetRuntime interface {
+	MemberSlots() []*fleet.Member
+	Delivered(packet.FlowID) int
+	FlowDrops(packet.FlowID) int
+	Drops() int
+	CacheStats() (hits, misses int)
+}
+
 // FairnessSweep runs one fleet per N and reports fairness, per-flow
 // throughput/delay, and aggregate utility at each size. Every run is
 // deterministic given (Seed, Duration, N, Alpha, PerSenderRate,
-// FairQueue) — the Workers knob changes only wall-clock time, never the
-// result.
+// FairQueue) — the Workers knob changes only wall-clock time, never
+// the result, and with Shards > 0 the shard count doesn't either
+// (TestFairnessSweepShardDeterminism asserts the latter).
 func FairnessSweep(cfg FairnessConfig) FairnessResult {
 	cfg = cfg.withDefaults()
 	res := FairnessResult{Cfg: cfg}
 	for _, n := range cfg.Ns {
-		fl := fleet.New(fleet.Config{
+		fc := fleet.Config{
 			N:             n,
 			Seed:          cfg.Seed,
 			Alpha:         cfg.Alpha,
@@ -118,57 +145,83 @@ func FairnessSweep(cfg FairnessConfig) FairnessResult {
 			FairQueue:     cfg.FairQueue,
 			Workers:       cfg.Workers,
 			NoSharedCache: cfg.NoSharedCache,
-		})
-		fl.Run(cfg.Duration)
-		res.Points = append(res.Points, fairnessPoint(fl, cfg.Duration))
+			LeanStats:     cfg.LeanStats,
+		}
+		if cfg.LeanStats {
+			// The late-ack counter stands in for the acked series: count
+			// from the second half's start, which is all the rate
+			// reduction reads.
+			fc.LeanRateFrom = cfg.Duration / 2
+		}
+		var rt fleetRuntime
+		if cfg.Shards > 0 {
+			sf := shard.New(shard.Config{Fleet: fc, Shards: cfg.Shards})
+			sf.Run(cfg.Duration)
+			rt = sf
+		} else {
+			fl := fleet.New(fc)
+			fl.Run(cfg.Duration)
+			rt = fl
+		}
+		res.Points = append(res.Points, fairnessPoint(rt, fc.Resolved(), cfg.Duration, cfg.LeanStats))
 	}
 	return res
 }
 
-// fairnessPoint reduces one finished fleet run to its sweep entry.
-// Per-flow data is read in member-index order only, so the reduction is
-// deterministic.
-func fairnessPoint(fl *fleet.Fleet, duration time.Duration) FairnessPoint {
+// fairnessPoint reduces one finished run to its sweep entry. Per-flow
+// data is read in member-slot order only, so the reduction is
+// deterministic for either engine.
+func fairnessPoint(rt fleetRuntime, rc fleet.Config, duration time.Duration, lean bool) FairnessPoint {
 	half := duration / 2
 	halfSecs := (duration - half).Seconds()
 	p := FairnessPoint{
-		N:        len(fl.Members),
-		LinkPkts: float64(fl.Cfg.LinkRate) / float64(packet.DefaultSizeBits),
-		Drops:    fl.Drops(),
+		LinkPkts: float64(rc.LinkRate) / float64(packet.DefaultSizeBits),
+		Drops:    rt.Drops(),
 	}
-	p.CacheHits, p.CacheMisses = fl.CacheStats()
+	p.CacheHits, p.CacheMisses = rt.CacheStats()
 
-	rates := make([]float64, len(fl.Members))
+	var rates []float64
 	var delays stats.Summary
-	for i, m := range fl.Members {
+	for i, m := range rt.MemberSlots() {
+		if m == nil {
+			continue
+		}
 		// Delivered rate as acknowledgments per second over the second
 		// half: well-defined even for flows with a single sample, which
-		// a slope fit is not.
-		w := m.AckedSeq.Window(half, duration)
-		rate := float64(w.Len()) / halfSecs
-		rates[i] = rate
+		// a slope fit is not. Lean runs count late acks instead of
+		// windowing a retained series.
+		var rate float64
+		if lean {
+			rate = float64(m.LateAcks) / halfSecs
+		} else {
+			w := m.AckedSeq.Window(half, duration)
+			rate = float64(w.Len()) / halfSecs
+		}
+		rates = append(rates, rate)
 
 		fs := FlowStat{
 			Flow:      i,
 			Rate:      rate,
-			Delivered: fl.Delivered(m.Flow),
+			Delivered: rt.Delivered(m.Flow),
 			MeanDelay: m.Delay.Mean(),
 			MaxDelay:  m.Delay.MaxV,
+			P99Delay:  m.DelayP99.Value(),
 			Utility:   m.Utility,
 		}
 		// Generation-fenced accessor: identical to the raw per-flow maps
 		// for a churn-free sweep, correct when flows have been recycled.
-		fs.Drops = fl.FlowDrops(m.Flow)
+		fs.Drops = rt.FlowDrops(m.Flow)
 		p.PerFlow = append(p.PerFlow, fs)
 		p.AggRate += rate
 		p.AggUtility += m.Utility
 		delays.Merge(m.Delay)
-		if i == 0 || rate < p.MinRate {
+		if p.N == 0 || rate < p.MinRate {
 			p.MinRate = rate
 		}
 		if rate > p.MaxRate {
 			p.MaxRate = rate
 		}
+		p.N++
 	}
 	p.Jain = stats.JainIndex(rates)
 	p.MeanDelay = delays.Mean()
@@ -183,6 +236,12 @@ func (r FairnessResult) Render() string {
 		r.Cfg.Duration, r.Cfg.Alpha, r.Cfg.Seed)
 	if r.Cfg.FairQueue {
 		b.WriteString(", DRR fair queue")
+	}
+	if r.Cfg.Shards > 0 {
+		fmt.Fprintf(&b, ", %d shards", r.Cfg.Shards)
+	}
+	if r.Cfg.LeanStats {
+		b.WriteString(", lean stats")
 	}
 	b.WriteString("\n")
 	fmt.Fprintf(&b, "%-6s %8s %10s %10s %10s %10s %10s %8s %12s\n",

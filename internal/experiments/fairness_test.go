@@ -97,3 +97,57 @@ func TestFairnessSweepWorkerDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestFairnessSweepShardDeterminism: the sharded runtime feeds the same
+// reduction and produces bit-identical sweep output at every shard
+// count. (Sharded runs use canonical scheduling and a striped cache, so
+// they are compared against each other; single-loop-vs-sharded identity
+// under the matching explicit config is pinned in internal/shard.)
+func TestFairnessSweepShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	run := func(shards int) []FairnessPoint {
+		return FairnessSweep(FairnessConfig{
+			Ns:       []int{8},
+			Duration: 30 * time.Second,
+			Seed:     11,
+			Workers:  1,
+			Shards:   shards,
+		}).Points
+	}
+	base := run(1)
+	if got := run(4); !reflect.DeepEqual(base, got) {
+		t.Errorf("shards=4: fairness sweep diverged from shards=1")
+	}
+}
+
+// TestFairnessSweepLeanStats: the lean path keeps no per-packet series
+// yet still reports sane rates and a tail percentile.
+func TestFairnessSweepLeanStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	res := FairnessSweep(FairnessConfig{
+		Ns:        []int{4},
+		Duration:  60 * time.Second,
+		Seed:      7,
+		Workers:   1,
+		LeanStats: true,
+	})
+	p := res.Points[0]
+	if p.AggRate <= 0 {
+		t.Fatalf("lean sweep delivered nothing")
+	}
+	if p.AggRate < 0.5*p.LinkPkts {
+		t.Errorf("lean aggregate %0.3f pkt/s far below link %0.3f pkt/s", p.AggRate, p.LinkPkts)
+	}
+	for _, fs := range p.PerFlow {
+		if fs.P99Delay <= 0 {
+			t.Errorf("flow %d: missing P99 delay in lean mode", fs.Flow)
+		}
+		if fs.P99Delay+1e-9 < fs.MeanDelay {
+			t.Errorf("flow %d: P99 %0.4f below mean %0.4f", fs.Flow, fs.P99Delay, fs.MeanDelay)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/chaos"
+	"modelcc/internal/fleet"
+	"modelcc/internal/lifecycle"
+	"modelcc/internal/packet"
+	"modelcc/internal/shard"
+)
+
+// ShardChurnConfig describes one sharded churn run: a fleet under the
+// barrier-aligned lifecycle on K parallel partitions.
+type ShardChurnConfig struct {
+	// N is the fleet's slot count (and MaxLive default).
+	N int
+	// Shards requests the partition count (resolved by
+	// shard.ResolveShards; 0 means one per CPU).
+	Shards int
+	// Duration is the virtual run length (default 120 s).
+	Duration time.Duration
+	// Seed drives both the simulation and the churn schedule.
+	Seed int64
+	// Epoch, DepartProb, CrashProb, ArriveProb are the churn schedule
+	// knobs, defaulted like ChurnConfig's.
+	Epoch                             time.Duration
+	DepartProb, CrashProb, ArriveProb float64
+	// MinLive floors the live population (default N/4).
+	MinLive int
+	// FairQueue selects the DRR bottleneck.
+	FairQueue bool
+	// Workers is the TOTAL rollout width, split across shards.
+	Workers int
+	// LeanStats drops per-packet series retention.
+	LeanStats bool
+}
+
+func (c ShardChurnConfig) withDefaults() ShardChurnConfig {
+	if c.N == 0 {
+		c.N = 16
+	}
+	if c.Duration == 0 {
+		c.Duration = 120 * time.Second
+	}
+	if c.Epoch == 0 {
+		c.Epoch = 10 * time.Second
+	}
+	if c.DepartProb == 0 {
+		c.DepartProb = 0.04
+	}
+	if c.CrashProb == 0 {
+		c.CrashProb = 0.06
+	}
+	if c.ArriveProb == 0 {
+		c.ArriveProb = 0.5
+	}
+	if c.MinLive == 0 {
+		c.MinLive = c.N / 4
+	}
+	return c
+}
+
+// ShardChurnResult is one sharded churn run's reduction.
+type ShardChurnResult struct {
+	// Cfg echoes the resolved configuration; Shards is the resolved
+	// partition count actually used.
+	Cfg ShardChurnConfig
+	// Stats aggregates lifecycle outcomes (crashes, departures,
+	// arrivals, failures, cold restarts).
+	Stats lifecycle.Stats
+	// Events is the length of the lifecycle event log.
+	Events int
+	// Live is the final live-member count; Slots the flow-space size.
+	Live, Slots int
+	// Delivered totals packets received across every flow and
+	// generation; Drops counts bottleneck discards.
+	Delivered, Drops int
+	// OrphanAcks counts acknowledgments that arrived after their
+	// sender's generation retired.
+	OrphanAcks int64
+	// ReplayHash digests delivery totals, drops and the event log; it
+	// is bit-identical for every shard count at fixed (N, Seed, knobs) —
+	// the determinism invariant CI holds the sharded runtime to.
+	ReplayHash uint64
+}
+
+// RunShardChurn drives one sharded fleet under the barrier-aligned
+// churn lifecycle and reduces it.
+func RunShardChurn(cfg ShardChurnConfig) ShardChurnResult {
+	cfg = cfg.withDefaults()
+	fc := fleet.Config{
+		N:         cfg.N,
+		Seed:      cfg.Seed,
+		FairQueue: cfg.FairQueue,
+		Workers:   cfg.Workers,
+		LeanStats: cfg.LeanStats,
+		BeliefCfg: belief.Config{Recover: true},
+	}
+	if cfg.LeanStats {
+		fc.LeanRateFrom = cfg.Duration / 2
+	}
+	sf := shard.New(shard.Config{Fleet: fc, Shards: cfg.Shards})
+	sf.EnableChurn(lifecycle.ChurnConfig{
+		Epoch:      cfg.Epoch,
+		DepartProb: cfg.DepartProb,
+		CrashProb:  cfg.CrashProb,
+		ArriveProb: cfg.ArriveProb,
+		MinLive:    cfg.MinLive,
+		MaxLive:    cfg.N,
+	}, lifecycle.SupervisorConfig{}, chaos.Config{Seed: cfg.Seed})
+	sf.Run(cfg.Duration)
+
+	cfg.Shards = sf.K
+	res := ShardChurnResult{
+		Cfg:        cfg,
+		Stats:      sf.Stats,
+		Events:     len(sf.Events),
+		Live:       sf.Live(),
+		Slots:      sf.Slots(),
+		Drops:      sf.Drops(),
+		OrphanAcks: sf.OrphanAcks,
+		ReplayHash: sf.ReplayHash(),
+	}
+	for i := 0; i < sf.Slots(); i++ {
+		res.Delivered += sf.DeliveredTotal(packet.FlowID(i))
+	}
+	return res
+}
+
+// Render prints one line per run for the CLI.
+func RenderShardChurn(points []ShardChurnResult) string {
+	var b strings.Builder
+	b.WriteString("Sharded churn (barrier-aligned lifecycle; hash is shard-count invariant)\n")
+	fmt.Fprintf(&b, "%-6s %7s %10s %7s %7s %7s %7s %8s %7s %9s %16s\n",
+		"N", "shards", "delivered", "drops", "crash", "depart", "arrive", "restart", "live", "orphans", "replay hash")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-6d %7d %10d %7d %7d %7d %7d %8d %7d %9d %016x\n",
+			p.Cfg.N, p.Cfg.Shards, p.Delivered, p.Drops,
+			p.Stats.Crashes, p.Stats.Departures, p.Stats.Arrivals, p.Stats.ColdRestarts,
+			p.Live, p.OrphanAcks, p.ReplayHash)
+	}
+	return b.String()
+}

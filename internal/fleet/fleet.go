@@ -34,15 +34,30 @@
 // experiments this package generalizes.
 //
 // Everything is deterministic: the loop is single-goroutine, the
-// scheduler drains in arrival order, and the shared pool preserves the
-// rollout engine's bit-identical-for-any-width guarantee, so a fleet
-// run's output depends only on its Config (including at Workers = 1
-// versus Workers = GOMAXPROCS — the fairness-sweep determinism test
-// asserts this).
+// scheduler drains same-instant wakes in canonical flow order, and the
+// shared pool preserves the rollout engine's
+// bit-identical-for-any-width guarantee, so a fleet run's output
+// depends only on its Config (including at Workers = 1 versus
+// Workers = GOMAXPROCS — the fairness-sweep determinism test asserts
+// this).
+//
+// The same member machinery also runs sharded: Partition re-hosts a
+// flow-residue subset of the fleet's members on a private loop, and
+// internal/shard couples K partitions through the one shared
+// bottleneck with a conservative time-windowed coordinator, bit
+// identical at any shard count. Sharded runs force two knobs a default
+// single-loop fleet leaves off: Config.Canonical (same-instant wakes
+// drain in flow order instead of arrival order) and a
+// planner.CacheStripes split of the policy cache (flow mod 16, so
+// partitions own disjoint stripes); a single-loop fleet with the same
+// two knobs set reproduces a sharded run bit for bit. Config.LeanStats
+// drops per-packet series retention (streaming moments and a P² tail
+// quantile instead) so very large fleets stay flat in heap.
 package fleet
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"modelcc/internal/belief"
@@ -99,8 +114,37 @@ type Config struct {
 	// NoSharedCache disables the fleet-wide policy cache (for the
 	// ablation benchmark; every member then plans from scratch).
 	NoSharedCache bool
-	// CacheEntries bounds the shared policy cache (0 = default).
+	// CacheEntries bounds the shared policy cache per stripe (0 =
+	// default).
 	CacheEntries int
+	// CacheStripes sets how many independent stripes the shared policy
+	// cache is split into (0 = 1: one fleet-wide cache, the historical
+	// behavior). A member uses stripe flow mod CacheStripes. The stripe
+	// count — not the shard count — determines which members share
+	// entries, so results are identical whether the fleet runs on one
+	// loop or on any shard count dividing it; the sharded runtime
+	// defaults this to planner.DefaultCacheStripes.
+	CacheStripes int
+	// Canonical switches the per-instant wake scheduler from arrival
+	// order (the historical single-loop behavior, the default) to
+	// canonical flow order, and routes timer wakes through the same
+	// batched drain as acknowledgment wakes. Under Canonical the
+	// instant-by-instant trajectory is a pure function of WHICH members
+	// woke — never of the event interleaving that woke them — which is
+	// the property the sharded runtime needs to reproduce a single-loop
+	// run bit for bit (internal/shard forces it on). The two orderings
+	// produce equally valid but different trajectories from the same
+	// seed; every cross-shard identity test compares canonical to
+	// canonical.
+	Canonical bool
+	// LeanStats drops the per-packet Series (SentSeq/AckedSeq/UtilCum/
+	// SupportN) from every member, keeping only O(1) streaming
+	// aggregates — count, mean, M2 variance, P² percentile, and a
+	// late-window ack count for rate — so an N=4096 run stays flat in
+	// heap. LeanRateFrom sets where the late window begins (the
+	// fairness sweep uses the second half of the run).
+	LeanStats    bool
+	LeanRateFrom time.Duration
 	// Prior overrides the per-member prior when non-nil; the default is
 	// Prior(linkRate, bufferCap, N).
 	PriorOverride *model.Prior
@@ -134,6 +178,9 @@ func (c Config) withDefaults() Config {
 		c.Stagger = 0
 	} else if c.Stagger == 0 {
 		c.Stagger = units.TransmitTime(packet.DefaultSizeBits, c.PerSenderRate)
+	}
+	if c.CacheStripes <= 0 {
+		c.CacheStripes = 1
 	}
 	return c
 }
@@ -295,8 +342,11 @@ type Fleet struct {
 	// Pool is the fleet-wide rollout pool every member plans and
 	// updates on.
 	Pool *rollout.Pool
-	// Cache is the fleet-wide policy cache (nil when disabled).
-	Cache *planner.PolicyCache
+	// Caches is the fleet-wide policy cache, split into fixed stripes
+	// keyed by flow mod stripe count (nil when disabled). Striping, not
+	// the shard count, decides which members share entries — see
+	// planner.CacheStripes.
+	Caches *planner.CacheStripes
 	// OrphanAcks counts acknowledgments that arrived for a flow with no
 	// live member — the in-flight packets of a retired member draining
 	// through the DES loop. They are never a panic: teardown is
@@ -320,6 +370,10 @@ type Fleet struct {
 	// flows fences per-flow accounting across member generations,
 	// indexed by flow in lockstep with Members.
 	flows []flowRecord
+	// active is the sorted index of occupied member slots, so Live is
+	// O(1) and lifecycle ticks iterate live members without a linear
+	// scan over every slot the fleet has ever allocated.
+	active []packet.FlowID
 }
 
 // flowRecord is one flow ID's cross-generation bookkeeping: how many
@@ -342,12 +396,11 @@ func New(cfg Config) *Fleet {
 	}
 	f.drainTimer = sim.NewTimer(f.Loop, f.drain)
 	if !cfg.NoSharedCache {
-		f.Cache = planner.NewPolicyCache(cfg.CacheEntries)
+		f.Caches = planner.NewCacheStripes(cfg.CacheStripes, cfg.CacheEntries)
 		// Coarse fingerprints: members in near-identical recurring
 		// situations share one computed decision. 50 ms buckets are
 		// well under the coarsest planning grid in use here.
-		f.Cache.TimeQuantum = 50 * time.Millisecond
-		f.Cache.WeightQuantum = 1e-3
+		f.Caches.SetQuanta(50*time.Millisecond, 1e-3)
 	}
 
 	f.Recv = elements.NewReceiver(f.Loop, func(a packet.Ack) {
@@ -385,29 +438,33 @@ func New(cfg Config) *Fleet {
 	f.Members = make([]*Member, 0, cfg.N)
 	f.flows = make([]flowRecord, 0, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		f.attach(packet.FlowID(i), f.newSender())
+		f.attach(packet.FlowID(i), f.newSender(packet.FlowID(i)))
 	}
 	return f
 }
 
 // newSender builds one cold member sender from the fleet's resolved
 // prior and configs, wired into the shared cache/table.
-func (f *Fleet) newSender() *core.Sender {
-	return f.wireSender(core.NewSender(belief.NewExact(f.states, f.bcfg), f.pcfg))
+func (f *Fleet) newSender(flow packet.FlowID) *core.Sender {
+	return f.wireSender(core.NewSender(belief.NewExact(f.states, f.bcfg), f.pcfg), flow)
 }
 
 // wireSender attaches a sender to the fleet's shared serving machinery:
-// the compiled table (as a synchronous Guard rung 0) or the shared
-// policy cache, plus the fleet burst cap.
-func (f *Fleet) wireSender(s *core.Sender) *core.Sender {
+// the compiled table (as a synchronous Guard rung 0) or the flow's
+// policy cache stripe, plus the fleet burst cap.
+func (f *Fleet) wireSender(s *core.Sender, flow packet.FlowID) *core.Sender {
+	var stripe *planner.PolicyCache
+	if f.Caches != nil {
+		stripe = f.Caches.For(uint32(flow))
+	}
 	if f.Cfg.Table != nil {
 		// Compiled serving path: table → warm cache → live, all
 		// synchronous (Budget 0 keeps the DES loop deterministic).
-		g := planner.NewGuard(0, f.Cache)
+		g := planner.NewGuard(0, stripe)
 		g.Compiled = f.Cfg.Table
 		s.Guard = g
 	} else {
-		s.Cache = f.Cache
+		s.Cache = stripe
 	}
 	// A solo sender's 32-packet burst cap is harmless; in a fleet a
 	// sender whose posterior momentarily says "link free" would pour
@@ -436,13 +493,41 @@ func (f *Fleet) attach(flow packet.FlowID, s *core.Sender) *Member {
 	}
 	m := NewMember(f.Loop, s, flow, f.q)
 	m.notify = f.enqueue
+	m.lean = f.Cfg.LeanStats
+	m.leanFrom = f.Cfg.LeanRateFrom
+	m.canonical = f.Cfg.Canonical
 	m.Gen = f.flows[idx].gens
 	f.flows[idx].gens++
 	m.AdmittedAt = f.Loop.Now()
 	m.baseDelivered = f.Recv.Received[flow]
 	m.baseDrops = f.rawDrops(flow)
 	f.Members[idx] = m
+	f.activate(flow)
 	return m
+}
+
+// activate inserts flow into the sorted active index.
+func (f *Fleet) activate(flow packet.FlowID) {
+	i := sort.Search(len(f.active), func(i int) bool { return f.active[i] >= flow })
+	f.active = append(f.active, 0)
+	copy(f.active[i+1:], f.active[i:])
+	f.active[i] = flow
+}
+
+// deactivate removes flow from the sorted active index.
+func (f *Fleet) deactivate(flow packet.FlowID) {
+	i := sort.Search(len(f.active), func(i int) bool { return f.active[i] >= flow })
+	if i < len(f.active) && f.active[i] == flow {
+		f.active = append(f.active[:i], f.active[i+1:]...)
+	}
+}
+
+// ActiveFlows appends the live member flows in ascending order to buf
+// and returns the result; pass a reused buffer to make the snapshot
+// allocation-free. Lifecycle ticks iterate this instead of scanning
+// every slot ever allocated.
+func (f *Fleet) ActiveFlows(buf []packet.FlowID) []packet.FlowID {
+	return append(buf, f.active...)
 }
 
 // Start schedules every member's first wakeup, staggered over
@@ -480,14 +565,25 @@ func (f *Fleet) enqueue(m *Member) {
 	}
 }
 
-// drain wakes the dirty members in arrival order (deterministic: the
-// loop is single-goroutine and same-instant events fire in scheduling
-// order). A wake may dirty further members at the same instant; they
-// are drained by a freshly armed event, still within the instant.
+// drain wakes the dirty members in arrival order, or — under
+// Cfg.Canonical — in canonical flow order. Sorting makes the
+// per-instant wake sequence a pure function of WHICH members woke,
+// independent of the event interleaving that dirtied them; that is the
+// property a sharded fleet relies on to reproduce the single-loop run
+// bit for bit (cross-shard acks arrive through a merge whose arrival
+// order differs, but the drained set is identical). The drain event
+// always fires after every same-instant enqueue (it is armed by the
+// instant's first enqueue, so its sequence number is larger than any
+// event armed earlier), so the sort sees the full batch. A wake may
+// dirty further members at the same instant; they are drained by a
+// freshly armed event, still within the instant.
 func (f *Fleet) drain() {
 	f.drainArmed = false
 	batch := f.dirty
 	f.dirty = f.spare[:0]
+	if f.Cfg.Canonical {
+		sort.Slice(batch, func(i, j int) bool { return batch[i].Flow < batch[j].Flow })
+	}
 	for _, m := range batch {
 		m.queued = false
 		m.wake()
@@ -562,21 +658,19 @@ func (f *Fleet) InFlight(flow packet.FlowID) int64 {
 	return inj - int64(f.Recv.Received[flow]) - int64(f.rawDrops(flow))
 }
 
-// Live reports the number of occupied member slots.
-func (f *Fleet) Live() int {
-	n := 0
-	for _, m := range f.Members {
-		if m != nil {
-			n++
-		}
-	}
-	return n
-}
+// Live reports the number of occupied member slots, O(1) via the
+// active index.
+func (f *Fleet) Live() int { return len(f.active) }
+
+// MemberSlots returns the slot-indexed member table (vacant slots are
+// nil) — the same read surface the sharded runtime exposes, so
+// reductions can run over either.
+func (f *Fleet) MemberSlots() []*Member { return f.Members }
 
 // Admit starts a fresh (cold-from-the-prior) member on the given flow
 // at now+offset. The flow must be vacant — use AllocFlow to pick one.
 func (f *Fleet) Admit(flow packet.FlowID, offset time.Duration) *Member {
-	m := f.attach(flow, f.newSender())
+	m := f.attach(flow, f.newSender(flow))
 	m.Start(offset)
 	return m
 }
@@ -585,7 +679,7 @@ func (f *Fleet) Admit(flow packet.FlowID, offset time.Duration) *Member {
 // restored from a lifecycle checkpoint) on the given flow at
 // now+offset, wiring it into the fleet's shared cache/table first.
 func (f *Fleet) AdmitSender(flow packet.FlowID, s *core.Sender, offset time.Duration) *Member {
-	m := f.attach(flow, f.wireSender(s))
+	m := f.attach(flow, f.wireSender(s, flow))
 	m.Start(offset)
 	return m
 }
@@ -612,6 +706,7 @@ func (f *Fleet) Retire(flow packet.FlowID) *Member {
 	m.GenDelivered = f.Recv.Received[flow] - m.baseDelivered
 	f.flows[idx].injected += m.Injected
 	f.Members[idx] = nil
+	f.deactivate(flow)
 	return m
 }
 
@@ -644,12 +739,18 @@ func (f *Fleet) NextGen(flow packet.FlowID) uint32 {
 // configured stagger window, so restarts and arrivals de-synchronize
 // from the incumbents instead of landing on one instant.
 func (f *Fleet) StaggerOffset(flow packet.FlowID, gen uint32) time.Duration {
-	if f.Cfg.Stagger <= 0 {
+	return StaggerOffsetFor(f.Cfg.Stagger, flow, gen)
+}
+
+// StaggerOffsetFor is StaggerOffset as a pure function, so the sharded
+// runtime computes the identical offset from the identical identity.
+func StaggerOffsetFor(stagger time.Duration, flow packet.FlowID, gen uint32) time.Duration {
+	if stagger <= 0 {
 		return 0
 	}
 	h := uint64(flow)*0x9e3779b97f4a7c15 + uint64(gen)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
 	h ^= h >> 29
-	return time.Duration(h % uint64(f.Cfg.Stagger))
+	return time.Duration(h % uint64(stagger))
 }
 
 // PriorStates returns the enumerated prior every member starts from.
@@ -666,14 +767,15 @@ func (f *Fleet) MemberBeliefConfig() belief.Config { return f.bcfg }
 func (f *Fleet) MemberPlanConfig() planner.Config { return f.pcfg }
 
 // CacheStats reports the shared policy cache's Decide-path hit/miss
-// counters (zeros when the cache is disabled). Guard fallback probes
-// are counted separately (PolicyCache.ProbeHits/ProbeMisses), so this
-// hit rate no longer double-counts budget-blown decisions.
+// counters summed over stripes (zeros when the cache is disabled).
+// Guard fallback probes are counted separately
+// (PolicyCache.ProbeHits/ProbeMisses), so this hit rate no longer
+// double-counts budget-blown decisions.
 func (f *Fleet) CacheStats() (hits, misses int) {
-	if f.Cache == nil {
+	if f.Caches == nil {
 		return 0, 0
 	}
-	return f.Cache.Hits, f.Cache.Misses
+	return f.Caches.Stats()
 }
 
 // CompiledStats reports, summed over members, how many decisions the
@@ -691,6 +793,12 @@ func (f *Fleet) CompiledStats() (compiled, live int64) {
 	}
 	return compiled, live
 }
+
+// Resolved returns the configuration with all defaults applied — the
+// exact Config a fleet built from c records in Cfg. The sharded
+// runtime uses it to size the coupling window from the resolved link
+// rate before any partition is built.
+func (c Config) Resolved() Config { return c.withDefaults() }
 
 // ResolvedPrior returns the prior the fleet's members would start from
 // under this configuration, with all defaults applied — the identity
@@ -726,6 +834,15 @@ type Member struct {
 	// Delay aggregates one-way packet delay in seconds per
 	// acknowledgment — O(1) space even across a long run.
 	Delay stats.Summary
+	// DelayP99 streams the 99th-percentile one-way delay (P² estimator,
+	// O(1) space), so a lean fleet still reports a tail percentile
+	// without retaining samples.
+	DelayP99 *stats.P2
+	// LateAcks counts acknowledgments arriving at or after the
+	// lean-stats rate window start (Config.LeanRateFrom); a lean
+	// fairness sweep computes steady-state rate from this instead of
+	// windowing AckedSeq.
+	LateAcks int64
 	// Utility accumulates Σ bits · exp(-delay/κ) over acknowledged
 	// packets: the realized delivery utility of the flow under the
 	// member's own discount timescale.
@@ -755,6 +872,14 @@ type Member struct {
 	notify  func(*Member)
 	queued  bool
 	retired bool
+	// lean/leanFrom mirror Config.LeanStats/LeanRateFrom: skip the
+	// per-packet Series, count late acks instead.
+	lean     bool
+	leanFrom time.Duration
+	// canonical mirrors Config.Canonical: timer and start wakes route
+	// through the batched drain (so same-instant wakes fire in flow
+	// order) instead of firing inline at their own event.
+	canonical bool
 	// baseDelivered/baseDrops fence the shared per-flow counters at
 	// admission time (see Fleet.Delivered / Fleet.FlowDrops).
 	baseDelivered, baseDrops int
@@ -774,29 +899,58 @@ func NewMember(loop *sim.Loop, s *core.Sender, flow packet.FlowID, out elements.
 	// would mislabel foreground members 1 and 2.
 	m.SentSeq.Name = fmt.Sprintf("flow%d sent", uint32(flow))
 	m.AckedSeq.Name = fmt.Sprintf("flow%d acked", uint32(flow))
-	m.timer = sim.NewTimer(loop, func() { m.wake() })
+	m.DelayP99 = stats.NewP2(0.99)
+	m.timer = sim.NewTimer(loop, m.epochWake)
 	return m
 }
 
-// Start schedules the member's first wakeup after the given offset.
-func (m *Member) Start(offset time.Duration) {
-	m.loop.After(offset, m.wake)
-}
-
-// OnAck records an acknowledgment and requests a wake — immediate when
-// standalone, batched per instant under a fleet scheduler.
-func (m *Member) OnAck(a packet.Ack) {
-	m.AckedSeq.Add(m.loop.Now(), float64(a.Seq))
-	delay := a.Delay()
-	m.Delay.Add(delay.Seconds())
-	m.Utility += float64(packet.DefaultSizeBits) * m.Sender.Plan.Util.Discount(delay)
-	m.UtilCum.Add(m.loop.Now(), m.Utility)
-	m.acks = append(m.acks, a)
+// requestWake routes an acknowledgment wake through the fleet
+// scheduler when one is attached (same-instant wakes are batched into
+// one drain), and wakes immediately when standalone.
+func (m *Member) requestWake() {
 	if m.notify != nil {
 		m.notify(m)
 		return
 	}
 	m.wake()
+}
+
+// epochWake fires a timer or start-offset wake. Under canonical
+// scheduling it routes through the batched drain like an
+// acknowledgment wake, so every same-instant wake — whatever its
+// trigger — drains in flow order; otherwise it fires inline at its own
+// event, the historical single-loop behavior.
+func (m *Member) epochWake() {
+	if m.canonical {
+		m.requestWake()
+		return
+	}
+	m.wake()
+}
+
+// Start schedules the member's first wakeup after the given offset.
+func (m *Member) Start(offset time.Duration) {
+	m.loop.After(offset, m.epochWake)
+}
+
+// OnAck records an acknowledgment and requests a wake — immediate when
+// standalone, batched per instant under a fleet scheduler.
+func (m *Member) OnAck(a packet.Ack) {
+	now := m.loop.Now()
+	delay := a.Delay()
+	m.Delay.Add(delay.Seconds())
+	m.DelayP99.Add(delay.Seconds())
+	m.Utility += float64(packet.DefaultSizeBits) * m.Sender.Plan.Util.Discount(delay)
+	if m.lean {
+		if now >= m.leanFrom {
+			m.LateAcks++
+		}
+	} else {
+		m.AckedSeq.Add(now, float64(a.Seq))
+		m.UtilCum.Add(now, m.Utility)
+	}
+	m.acks = append(m.acks, a)
+	m.requestWake()
 }
 
 func (m *Member) wake() {
@@ -810,11 +964,15 @@ func (m *Member) wake() {
 	acks := m.acks
 	m.acks = m.acks[:0]
 	act := m.Sender.Wake(now, acks)
-	// Support() is cached after the wake's own decision, so this read
-	// costs no recomputation.
-	m.SupportN.Add(now, float64(len(m.Sender.Belief.Support())))
+	if !m.lean {
+		// Support() is cached after the wake's own decision, so this
+		// read costs no recomputation.
+		m.SupportN.Add(now, float64(len(m.Sender.Belief.Support())))
+	}
 	for _, snd := range act.Sends {
-		m.SentSeq.Add(now, float64(snd.Seq))
+		if !m.lean {
+			m.SentSeq.Add(now, float64(snd.Seq))
+		}
 		m.Injected++
 		m.out.Receive(packet.Packet{
 			Flow:      m.Flow,

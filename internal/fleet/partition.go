@@ -1,0 +1,295 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/core"
+	"modelcc/internal/model"
+	"modelcc/internal/packet"
+	"modelcc/internal/planner"
+	"modelcc/internal/rollout"
+	"modelcc/internal/sim"
+	"modelcc/internal/utility"
+)
+
+// Partition is one shard's slice of a fleet: the members whose flow IDs
+// are congruent to the partition index modulo the shard count, running
+// on their own discrete-event loop with their own rollout pool and
+// scratch arenas. Partitions never touch the shared bottleneck
+// directly — members send into an Outbox the shard coordinator merges
+// in canonical order and replays onto the one authoritative bottleneck
+// loop — and they receive acknowledgments only through ScheduleAck,
+// which the coordinator calls at each coupling-window start with the
+// (at most one) completion the window can contain. Within a window a
+// partition therefore depends on nothing outside itself, which is what
+// lets K partitions run on K goroutines while reproducing the
+// single-loop fleet bit for bit.
+//
+// Partition reuses Member unchanged: the same batching scheduler
+// (enqueue/drain in canonical flow order), the same wake clamp, the
+// same fenced counters. It lives in package fleet because it is the
+// fleet's member machinery re-hosted, not a new behavior.
+type Partition struct {
+	// Loop is the partition's private discrete-event loop.
+	Loop *sim.Loop
+	// Pool is the partition's rollout pool (per-shard scratch arenas).
+	Pool *rollout.Pool
+	// Out collects the window's injected packets for the coordinator.
+	Out *Outbox
+	// Caches is the fleet-wide striped policy cache. The partition only
+	// touches stripes s with s ≡ idx (mod shards) — disjoint from every
+	// other partition because the shard count divides the stripe count —
+	// so no synchronization is needed.
+	Caches *planner.CacheStripes
+
+	idx, shards int
+	cfg         Config
+	states      []model.State
+	bcfg        belief.Config
+	pcfg        planner.Config
+
+	// members and flows are indexed by local slot = flow / shards.
+	members []*Member
+	flows   []flowRecord
+
+	dirty, spare []*Member
+	drainArmed   bool
+	drainTimer   *sim.Timer
+
+	// ackTimer replays the coordinator-peeked acknowledgment at its
+	// exact receive instant; one reusable timer suffices because a
+	// coupling window contains at most one completion.
+	ackTimer   *sim.Timer
+	pendingAck packet.Ack
+}
+
+// Outbox is the elements.Node a partition's members send into: it
+// records the packets in emission order for the coordinator to merge.
+type Outbox struct {
+	// Pkts are the window's packets in the order members emitted them.
+	Pkts []packet.Packet
+}
+
+// Receive implements elements.Node.
+func (o *Outbox) Receive(p packet.Packet) { o.Pkts = append(o.Pkts, p) }
+
+// Reset clears the outbox for the next window, keeping capacity.
+func (o *Outbox) Reset() { o.Pkts = o.Pkts[:0] }
+
+// NewPartition builds partition idx of shards over the RESOLVED fleet
+// configuration (call Config.Resolved first; Workers here is the
+// per-partition pool width). No members are attached; the coordinator
+// attaches and starts them so admission order and stagger offsets are
+// identical to the single-loop fleet's.
+func NewPartition(cfg Config, idx, shards int, caches *planner.CacheStripes) *Partition {
+	p := &Partition{
+		Loop:   sim.New(cfg.Seed),
+		Pool:   rollout.New(cfg.Workers),
+		Out:    &Outbox{},
+		Caches: caches,
+		idx:    idx,
+		shards: shards,
+		cfg:    cfg,
+	}
+	p.drainTimer = sim.NewTimer(p.Loop, p.drain)
+	p.ackTimer = sim.NewTimer(p.Loop, p.deliverAck)
+
+	prior := Prior(cfg.LinkRate, cfg.BufferCapBits, cfg.N)
+	if cfg.PriorOverride != nil {
+		prior = *cfg.PriorOverride
+	}
+	p.states, _ = prior.Enumerate()
+
+	u := utility.Default()
+	u.Alpha = cfg.Alpha
+	p.bcfg = beliefDefaults(cfg.BeliefCfg, cfg.N)
+	p.bcfg.Pool = p.Pool
+	p.pcfg = planDefaults(cfg.Plan, cfg.PerSenderRate, u, cfg.N)
+	p.pcfg.Pool = p.Pool
+	return p
+}
+
+// Owns reports whether the flow belongs to this partition.
+func (p *Partition) Owns(flow packet.FlowID) bool {
+	return int(flow)%p.shards == p.idx
+}
+
+func (p *Partition) slot(flow packet.FlowID) int { return int(flow) / p.shards }
+
+// MemberAt returns the flow's live member, nil when vacant or foreign.
+func (p *Partition) MemberAt(flow packet.FlowID) *Member {
+	if !p.Owns(flow) {
+		return nil
+	}
+	s := p.slot(flow)
+	if s >= len(p.members) {
+		return nil
+	}
+	return p.members[s]
+}
+
+// AttachCold occupies flow with a fresh cold-from-the-prior member
+// generation, fencing its counters at the supplied shared-bottleneck
+// readings (the coordinator owns the receiver and drop maps). The
+// member is not started.
+func (p *Partition) AttachCold(flow packet.FlowID, baseDelivered, baseDrops int) *Member {
+	s := p.slot(flow)
+	for s >= len(p.members) {
+		p.members = append(p.members, nil)
+		p.flows = append(p.flows, flowRecord{})
+	}
+	if p.members[s] != nil {
+		panic("fleet: partition flow already occupied")
+	}
+	m := NewMember(p.Loop, p.newSender(flow), flow, p.Out)
+	m.notify = p.enqueue
+	m.lean = p.cfg.LeanStats
+	m.leanFrom = p.cfg.LeanRateFrom
+	// Partition members are always canonical: the coordinator's merge
+	// delivers cross-shard events in flow order, so local wakes must
+	// drain the same way.
+	m.canonical = true
+	m.Gen = p.flows[s].gens
+	p.flows[s].gens++
+	m.AdmittedAt = p.Loop.Now()
+	m.baseDelivered = baseDelivered
+	m.baseDrops = baseDrops
+	p.members[s] = m
+	return m
+}
+
+// RetireMember tears the flow's member down (mirroring Fleet.Retire),
+// freezing its fenced counters at the supplied shared-bottleneck
+// readings. Returns the retired member, nil when vacant.
+func (p *Partition) RetireMember(flow packet.FlowID, delivered, rawDrops int) *Member {
+	s := p.slot(flow)
+	if !p.Owns(flow) || s >= len(p.members) || p.members[s] == nil {
+		return nil
+	}
+	m := p.members[s]
+	m.retired = true
+	m.timer.Stop()
+	m.acks = m.acks[:0]
+	m.GenDrops = rawDrops - m.baseDrops
+	m.GenDelivered = delivered - m.baseDelivered
+	p.flows[s].injected += m.Injected
+	p.members[s] = nil
+	return m
+}
+
+// InjectedTotal reports packets the flow injected across every
+// generation, live member included — the coordinator's in-flight
+// accounting input.
+func (p *Partition) InjectedTotal(flow packet.FlowID) int64 {
+	s := p.slot(flow)
+	if !p.Owns(flow) || s >= len(p.flows) {
+		return 0
+	}
+	inj := p.flows[s].injected
+	if s < len(p.members) && p.members[s] != nil {
+		inj += p.members[s].Injected
+	}
+	return inj
+}
+
+// NextGen reports the generation the next member admitted on the flow
+// will receive.
+func (p *Partition) NextGen(flow packet.FlowID) uint32 {
+	s := p.slot(flow)
+	if !p.Owns(flow) || s >= len(p.flows) {
+		return 0
+	}
+	return p.flows[s].gens
+}
+
+// BaseDelivered reports the live member's admission-time delivery
+// fence (see Fleet.Delivered); zero when vacant.
+func (p *Partition) BaseDelivered(flow packet.FlowID) (base int, ok bool) {
+	m := p.MemberAt(flow)
+	if m == nil {
+		return 0, false
+	}
+	return m.baseDelivered, true
+}
+
+// BaseDrops is BaseDelivered's drop-side counterpart.
+func (p *Partition) BaseDrops(flow packet.FlowID) (base int, ok bool) {
+	m := p.MemberAt(flow)
+	if m == nil {
+		return 0, false
+	}
+	return m.baseDrops, true
+}
+
+// ScheduleAck arms the window's one peeked acknowledgment for delivery
+// at its exact receive instant on the partition loop. Must be called
+// before RunTo for the window containing a.ReceivedAt.
+func (p *Partition) ScheduleAck(a packet.Ack) {
+	p.pendingAck = a
+	p.ackTimer.ArmAt(a.ReceivedAt)
+}
+
+func (p *Partition) deliverAck() {
+	a := p.pendingAck
+	m := p.MemberAt(a.Flow)
+	if m == nil || m.retired {
+		// The coordinator checks liveness at peek time; a vacancy here
+		// would be a barrier bookkeeping bug, but stay graceful.
+		return
+	}
+	m.OnAck(a)
+}
+
+// RunTo drives the partition loop to the absolute virtual time t,
+// firing every member event at or before it.
+func (p *Partition) RunTo(t time.Duration) { p.Loop.Run(t) }
+
+// NextEventTime reports the partition's earliest pending event, for the
+// coordinator's idle-window skip-ahead.
+func (p *Partition) NextEventTime() (time.Duration, bool) { return p.Loop.PeekTime() }
+
+// newSender mirrors Fleet.newSender against the partition's stripe set.
+func (p *Partition) newSender(flow packet.FlowID) *core.Sender {
+	s := core.NewSender(belief.NewExact(p.states, p.bcfg), p.pcfg)
+	var stripe *planner.PolicyCache
+	if p.Caches != nil {
+		stripe = p.Caches.For(uint32(flow))
+	}
+	if p.cfg.Table != nil {
+		g := planner.NewGuard(0, stripe)
+		g.Compiled = p.cfg.Table
+		s.Guard = g
+	} else {
+		s.Cache = stripe
+	}
+	s.MaxBurst = 4
+	return s
+}
+
+// enqueue/drain are the fleet scheduler verbatim: batch same-instant
+// wakes, drain in canonical flow order.
+func (p *Partition) enqueue(m *Member) {
+	if m.queued {
+		return
+	}
+	m.queued = true
+	p.dirty = append(p.dirty, m)
+	if !p.drainArmed {
+		p.drainArmed = true
+		p.drainTimer.ArmAt(p.Loop.Now())
+	}
+}
+
+func (p *Partition) drain() {
+	p.drainArmed = false
+	batch := p.dirty
+	p.dirty = p.spare[:0]
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Flow < batch[j].Flow })
+	for _, m := range batch {
+		m.queued = false
+		m.wake()
+	}
+	p.spare = batch[:0]
+}

@@ -45,6 +45,7 @@ type Admission struct {
 	timer   *sim.Timer
 	started bool
 	stopped bool
+	scratch []packet.FlowID
 	// Epochs counts completed schedule ticks.
 	Epochs int
 }
@@ -104,10 +105,11 @@ func (a *Admission) epoch() {
 	live := fl.Live()
 	leaving := 0   // MinLive guard: crashes and departures both shrink the population
 	departing := 0 // only departures free capacity — a crashed slot stays reserved for its restart
-	for i, m := range fl.Members {
-		if m == nil {
-			continue
-		}
+	// Snapshot the active index (ascending flow order — the same order
+	// the old full-slot scan visited live members in, so the draw
+	// sequence is unchanged); Depart mutates the index mid-loop.
+	a.scratch = fl.ActiveFlows(a.scratch[:0])
+	for _, flow := range a.scratch {
 		u := a.src.Float64()
 		canLeave := live-leaving > a.Cfg.MinLive
 		switch {
@@ -120,7 +122,7 @@ func (a *Admission) epoch() {
 			// crashes are abrupt by definition.
 			frac := a.src.Float64()
 			at := now + time.Duration(frac*float64(a.Cfg.Epoch))
-			flow := packet.FlowID(i)
+			flow := flow
 			fl.Loop.Schedule(at, func() {
 				if !a.stopped {
 					a.Sup.Kill(flow)
@@ -131,7 +133,7 @@ func (a *Admission) epoch() {
 			if !canLeave {
 				continue
 			}
-			a.Sup.Depart(packet.FlowID(i))
+			a.Sup.Depart(flow)
 			leaving++
 			departing++
 		}

@@ -173,8 +173,8 @@ func FleetPriorHash(fl *fleet.Fleet) uint64 {
 		tq time.Duration
 		wq float64
 	)
-	if fl.Cache != nil {
-		tq, wq = fl.Cache.TimeQuantum, fl.Cache.WeightQuantum
+	if fl.Caches != nil {
+		tq, wq = fl.Caches.TimeQuantum(), fl.Caches.WeightQuantum()
 	}
 	return policy.HashPrior(fl.Cfg.ResolvedPrior(), tq, wq)
 }

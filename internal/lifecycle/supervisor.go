@@ -198,6 +198,7 @@ type Supervisor struct {
 	ckpt    *sim.Timer
 	started bool
 	stopped bool
+	scratch []packet.FlowID
 }
 
 // NewSupervisor builds a supervisor over the fleet's current members.
@@ -276,8 +277,13 @@ func (s *Supervisor) checkTick() {
 		return
 	}
 	now := s.FL.Loop.Now()
-	for i, m := range s.FL.Members {
+	s.scratch = s.FL.ActiveFlows(s.scratch[:0])
+	for _, flow := range s.scratch {
+		i := int(flow)
+		m := s.FL.Members[i]
 		if m == nil {
+			// fail() below can retire a flow mid-sweep only for the flow
+			// being visited, but stay defensive against callback retires.
 			continue
 		}
 		fs := s.flow(i)
@@ -327,7 +333,10 @@ func (s *Supervisor) checkpointTick() {
 	if s.stopped {
 		return
 	}
-	for i, m := range s.FL.Members {
+	s.scratch = s.FL.ActiveFlows(s.scratch[:0])
+	for _, flow := range s.scratch {
+		i := int(flow)
+		m := s.FL.Members[i]
 		if m == nil {
 			continue
 		}

@@ -74,16 +74,16 @@ func Compile(cfg CompileConfig) (Header, []Record, CompileStats, error) {
 		fc.CacheEntries = cfg.CacheEntries
 		fc.Table = nil // the compile must plan live, not serve itself
 		fl := fleet.New(fc)
-		if fl.Cache == nil {
+		if fl.Caches == nil {
 			return Header{}, nil, stats, fmt.Errorf("policy: compile fleet has no shared cache")
 		}
-		tq = fl.Cache.TimeQuantum
-		wq = fl.Cache.WeightQuantum
+		tq = fl.Caches.TimeQuantum()
+		wq = fl.Caches.WeightQuantum()
 		if wq <= 0 {
 			wq = 1e-6 // the cache's documented default quantum
 		}
 		fleetN = uint32(fl.Cfg.N)
-		fl.Cache.OnStore = func(e planner.Entry) {
+		fl.Caches.SetOnStore(func(e planner.Entry) {
 			stats.Stored++
 			if prev, ok := seen[e.FP]; ok {
 				if prev.Verify != e.Verify {
@@ -92,7 +92,7 @@ func Compile(cfg CompileConfig) (Header, []Record, CompileStats, error) {
 				return
 			}
 			seen[e.FP] = Record{FP: e.FP, Verify: e.Verify, SendNow: e.SendNow, Delta: e.Delta, Gain: e.Gain}
-		}
+		})
 		fl.Run(cfg.Duration)
 		stats.Runs++
 	}

@@ -1,0 +1,359 @@
+package shard
+
+import (
+	"sort"
+	"time"
+
+	"modelcc/internal/chaos"
+	"modelcc/internal/fleet"
+	"modelcc/internal/lifecycle"
+	"modelcc/internal/packet"
+)
+
+// Barrier-aligned lifecycle: the sharded analog of
+// lifecycle.Supervisor + lifecycle.Admission. Every action — epoch
+// draws, crash-kills, health checks, restarts — executes at coupling-
+// window barriers, in ascending flow order, with due times snapped up
+// to the Δ grid. Because Δ, the draw stream, the membership history
+// and the barrier grid are all independent of the shard count, the
+// lifecycle log and replay hash are bit-identical for every K. They
+// are NOT identical to the single-loop Supervisor's (which kills
+// mid-window at exact drawn instants and can restart warm from
+// checkpoints); sharded restarts are always cold, since checkpoint
+// restore is plumbed through the single-loop fleet.
+
+type pendingKill struct {
+	at   time.Duration
+	flow packet.FlowID
+}
+
+type pendingRestart struct {
+	due  time.Duration
+	flow packet.FlowID
+}
+
+type churnFlow struct {
+	attempts    int
+	reserved    bool
+	lastReseeds int
+}
+
+type churnState struct {
+	cfg lifecycle.ChurnConfig
+	sup lifecycle.SupervisorConfig
+	src *chaos.Source
+
+	nextEpoch  time.Duration
+	nextHealth time.Duration
+	kills      []pendingKill
+	restarts   []pendingRestart
+	flows      []churnFlow
+}
+
+func (c *churnState) flow(idx int) *churnFlow {
+	for idx >= len(c.flows) {
+		c.flows = append(c.flows, churnFlow{})
+	}
+	return &c.flows[idx]
+}
+
+// nextDue reports the earliest lifecycle instant, bounding the
+// coordinator's idle skip so no barrier with due work is jumped over.
+func (c *churnState) nextDue() (time.Duration, bool) {
+	best, ok := c.nextEpoch, true
+	if c.nextHealth < best {
+		best = c.nextHealth
+	}
+	for _, k := range c.kills {
+		if k.at < best {
+			best = k.at
+		}
+	}
+	for _, r := range c.restarts {
+		if r.due < best {
+			best = r.due
+		}
+	}
+	return best, ok
+}
+
+// EnableChurn arms the barrier-aligned churn lifecycle. Call before
+// Run. Zero-valued fields take the same defaults as the single-loop
+// lifecycle package.
+func (sf *Fleet) EnableChurn(cc lifecycle.ChurnConfig, sup lifecycle.SupervisorConfig, ch chaos.Config) {
+	if cc.Epoch <= 0 {
+		cc.Epoch = 10 * time.Second
+	}
+	if cc.MinLive <= 0 {
+		cc.MinLive = 1
+	}
+	if cc.MaxLive <= 0 {
+		cc.MaxLive = sf.Cfg.N
+	}
+	if sup.Interval <= 0 {
+		sup.Interval = 2 * time.Second
+	}
+	if sup.MaxReseeds == 0 {
+		sup.MaxReseeds = 2
+	}
+	if sup.MaxOverruns == 0 {
+		sup.MaxOverruns = 8
+	}
+	if sup.BackoffBase <= 0 {
+		sup.BackoffBase = 500 * time.Millisecond
+	}
+	if sup.BackoffCap <= 0 {
+		sup.BackoffCap = 16 * time.Second
+	}
+	if sup.DrainPoll <= 0 {
+		sup.DrainPoll = 250 * time.Millisecond
+	}
+	sf.churn = &churnState{
+		cfg:        cc,
+		sup:        sup,
+		src:        ch.Sub("churn").Source(),
+		nextEpoch:  cc.Epoch,
+		nextHealth: sup.Interval,
+	}
+}
+
+// lifecycleBarrier executes every due lifecycle action at barrier time
+// sf.now, in a fixed order: crash-kills, restarts, health checks,
+// epoch draws.
+func (sf *Fleet) lifecycleBarrier() {
+	c := sf.churn
+	b := sf.now
+
+	// 1. Crash-kills whose drawn instant has been reached, in (at,
+	// flow) order.
+	if len(c.kills) > 0 {
+		sort.Slice(c.kills, func(i, j int) bool {
+			if c.kills[i].at != c.kills[j].at {
+				return c.kills[i].at < c.kills[j].at
+			}
+			return c.kills[i].flow < c.kills[j].flow
+		})
+		rest := c.kills[:0]
+		for _, k := range c.kills {
+			if k.at > b {
+				rest = append(rest, k)
+				continue
+			}
+			sf.kill(k.flow)
+		}
+		c.kills = rest
+	}
+
+	// 2. Due restarts, in (due, flow) order. A restart whose flow is
+	// still draining re-queues at the drain-poll interval.
+	if len(c.restarts) > 0 {
+		sort.Slice(c.restarts, func(i, j int) bool {
+			if c.restarts[i].due != c.restarts[j].due {
+				return c.restarts[i].due < c.restarts[j].due
+			}
+			return c.restarts[i].flow < c.restarts[j].flow
+		})
+		rest := c.restarts[:0]
+		for _, r := range c.restarts {
+			if r.due > b {
+				rest = append(rest, r)
+				continue
+			}
+			if again, ok := sf.tryRestart(r.flow); ok {
+				rest = append(rest, pendingRestart{due: again, flow: r.flow})
+			}
+		}
+		c.restarts = rest
+	}
+
+	// 3. Health sweep, in flow order.
+	if b >= c.nextHealth {
+		for i := 0; i < sf.slots; i++ {
+			flow := packet.FlowID(i)
+			m := sf.MemberAt(flow)
+			if m == nil {
+				continue
+			}
+			fs := c.flow(i)
+			reseeds := beliefReseeds(m)
+			failed := c.sup.MaxReseeds > 0 && reseeds-fs.lastReseeds >= c.sup.MaxReseeds
+			if g := m.Sender.Guard; !failed && g != nil && c.sup.MaxOverruns > 0 {
+				failed = g.ConsecutiveOverruns >= c.sup.MaxOverruns
+			}
+			if failed {
+				sf.failMember(flow)
+				continue
+			}
+			fs.lastReseeds = reseeds
+			if fs.attempts > 0 && b-m.AdmittedAt >= 2*c.sup.Interval {
+				fs.attempts = 0
+			}
+		}
+		c.nextHealth = b + c.sup.Interval
+	}
+
+	// 4. Epoch draws: one uniform per live member in flow order, then
+	// one per open slot — the same draw discipline as the single-loop
+	// Admission, so the schedule is a pure function of the seed and
+	// the (K-invariant) population history.
+	if b >= c.nextEpoch {
+		live := sf.Live()
+		leaving, departing := 0, 0
+		for i := 0; i < sf.slots; i++ {
+			flow := packet.FlowID(i)
+			if sf.MemberAt(flow) == nil {
+				continue
+			}
+			u := c.src.Float64()
+			canLeave := live-leaving > c.cfg.MinLive
+			switch {
+			case u < c.cfg.CrashProb:
+				if !canLeave {
+					continue
+				}
+				frac := c.src.Float64()
+				at := b + time.Duration(frac*float64(c.cfg.Epoch))
+				c.kills = append(c.kills, pendingKill{at: at, flow: flow})
+				leaving++
+			case u < c.cfg.CrashProb+c.cfg.DepartProb:
+				if !canLeave {
+					continue
+				}
+				sf.depart(flow)
+				leaving++
+				departing++
+			}
+		}
+		occupied := (live - departing) + sf.reservedCount()
+		for open := c.cfg.MaxLive - occupied; open > 0; open-- {
+			if c.src.Float64() < c.cfg.ArriveProb {
+				sf.admitNew()
+			}
+		}
+		c.nextEpoch = b + c.cfg.Epoch
+	}
+}
+
+func (sf *Fleet) reservedCount() int {
+	n := 0
+	for i := range sf.churn.flows {
+		if sf.churn.flows[i].reserved {
+			n++
+		}
+	}
+	return n
+}
+
+// kill crash-kills the flow's member and schedules its restart.
+func (sf *Fleet) kill(flow packet.FlowID) {
+	m := sf.retire(flow)
+	if m == nil {
+		return
+	}
+	sf.Stats.Crashes++
+	sf.Events = append(sf.Events, lifecycle.Event{At: sf.now, Kind: lifecycle.EventCrash, Flow: flow, Gen: m.Gen})
+	sf.scheduleRestart(flow)
+}
+
+// failMember declares the flow failed on health grounds.
+func (sf *Fleet) failMember(flow packet.FlowID) {
+	m := sf.retire(flow)
+	if m == nil {
+		return
+	}
+	sf.Stats.Failures++
+	sf.Events = append(sf.Events, lifecycle.Event{At: sf.now, Kind: lifecycle.EventFail, Flow: flow, Gen: m.Gen})
+	sf.scheduleRestart(flow)
+}
+
+// depart retires the flow permanently.
+func (sf *Fleet) depart(flow packet.FlowID) {
+	m := sf.retire(flow)
+	if m == nil {
+		return
+	}
+	fs := sf.churn.flow(int(flow))
+	fs.attempts = 0
+	sf.Stats.Departures++
+	sf.Events = append(sf.Events, lifecycle.Event{At: sf.now, Kind: lifecycle.EventDepart, Flow: flow, Gen: m.Gen})
+}
+
+// scheduleRestart reserves the flow and queues the backoff-delayed
+// attempt (lifecycle.Supervisor's backoff, barrier-snapped at
+// execution time).
+func (sf *Fleet) scheduleRestart(flow packet.FlowID) {
+	c := sf.churn
+	fs := c.flow(int(flow))
+	shift := fs.attempts
+	if shift > 30 {
+		shift = 30
+	}
+	delay := c.sup.BackoffBase << shift
+	if delay > c.sup.BackoffCap || delay <= 0 {
+		delay = c.sup.BackoffCap
+	}
+	fs.attempts++
+	fs.reserved = true
+	c.restarts = append(c.restarts, pendingRestart{due: sf.now + delay, flow: flow})
+}
+
+// tryRestart performs or re-defers one due restart. It returns
+// (againAt, true) when the flow is still draining and the attempt must
+// re-queue.
+func (sf *Fleet) tryRestart(flow packet.FlowID) (time.Duration, bool) {
+	c := sf.churn
+	fs := c.flow(int(flow))
+	if sf.MemberAt(flow) != nil {
+		fs.reserved = false
+		return 0, false
+	}
+	if sf.InFlight(flow) > 0 {
+		return sf.now + c.sup.DrainPoll, true
+	}
+	gen := sf.owner(flow).NextGen(flow)
+	m := sf.admit(flow, fleet.StaggerOffsetFor(sf.Cfg.Stagger, flow, gen))
+	fs.reserved = false
+	fs.lastReseeds = beliefReseeds(m)
+	sf.Stats.ColdRestarts++
+	sf.Events = append(sf.Events, lifecycle.Event{
+		At: sf.now, Kind: lifecycle.EventRestart, Flow: flow, Gen: m.Gen,
+		Restart: lifecycle.RestartCold, Attempt: fs.attempts,
+	})
+	return 0, false
+}
+
+// admitNew starts a brand-new member on the lowest safe flow.
+func (sf *Fleet) admitNew() *fleet.Member {
+	c := sf.churn
+	flow := packet.FlowID(sf.slots)
+	for i := 0; i < sf.slots; i++ {
+		f := packet.FlowID(i)
+		if sf.MemberAt(f) == nil && !c.flow(i).reserved && sf.InFlight(f) == 0 {
+			flow = f
+			break
+		}
+	}
+	gen := sf.owner(flow).NextGen(flow)
+	m := sf.admit(flow, fleet.StaggerOffsetFor(sf.Cfg.Stagger, flow, gen))
+	fs := c.flow(int(flow))
+	fs.attempts = 0
+	fs.lastReseeds = beliefReseeds(m)
+	sf.Stats.Arrivals++
+	sf.Events = append(sf.Events, lifecycle.Event{At: sf.now, Kind: lifecycle.EventAdmit, Flow: flow, Gen: m.Gen})
+	return m
+}
+
+// ReplayHash digests per-flow delivery totals, drops and the lifecycle
+// event log — the same byte shape as the single-loop churn hash, so
+// equal hashes mean bit-identical sharded runs.
+func (sf *Fleet) ReplayHash() uint64 {
+	h := fnvHasher()
+	h.put(uint64(sf.slots), uint64(sf.Live()), uint64(sf.Drops()), uint64(sf.OrphanAcks))
+	for i := 0; i < sf.slots; i++ {
+		h.put(uint64(i), uint64(sf.DeliveredTotal(packet.FlowID(i))))
+	}
+	for _, e := range sf.Events {
+		h.put(uint64(e.At), uint64(e.Kind), uint64(e.Flow), uint64(e.Gen), uint64(e.Restart))
+	}
+	return h.sum()
+}

@@ -1,0 +1,583 @@
+// Package shard runs a fleet of ISENDERs as K parallel per-shard
+// discrete-event loops coupled through the one shared bottleneck by a
+// conservative time-windowed coordinator, bit identical at any shard
+// count. New forces the two fleet knobs sharding depends on —
+// fleet.Config.Canonical (flow-order same-instant scheduling) and a
+// cache striped planner.DefaultCacheStripes ways — and a single-loop
+// fleet.Fleet built with those same knobs reproduces a sharded run bit
+// for bit (a default single-loop fleet keeps its historical
+// arrival-order trajectory, which differs event for event but not
+// statistically).
+//
+// # The windowed protocol
+//
+// Flow f lives on shard f mod K. Each shard is a fleet.Partition: its
+// members, their wake timers, belief updates and planner rollouts all
+// run on a private sim.Loop with private scratch arenas, so K shards
+// occupy K goroutines with no shared mutable state. The bottleneck —
+// buffer, link, receiver — stays on one authoritative loop owned by
+// the coordinator.
+//
+// Virtual time advances in windows of Δ = the bottleneck's service
+// time for one (uniform-size) packet, the conservative lookahead: no
+// packet injected after a window opens can be delivered inside it,
+// because its service completes at least Δ after the window opened.
+// One round is:
+//
+//  1. Peek. At the window start the coordinator inspects the link's
+//     in-service packet. At most ONE delivery can land inside the
+//     window — the in-service packet (anything behind it completes a
+//     full service time later) — and a delivery inside the window
+//     implies its service began at or before the window start, so the
+//     peek can never miss one. The resulting acknowledgment is handed
+//     to the owning shard, scheduled at its exact receive instant.
+//     The implication needs every instant ≤ the window start to be
+//     fully processed BEFORE the peek; two edges enforce that: Run
+//     opens with a zero-width step that settles instant 0 (member
+//     starts at offset zero and their injections) before the first
+//     window, and barrier-time admissions clamp their start offsets
+//     strictly positive so no member event ever lands exactly on a
+//     barrier the coordinator has already opened.
+//  2. Run. All K shards run their loops to the window end in
+//     parallel. Each shard's sends land in its outbox.
+//  3. Merge. The coordinator gathers the outboxes and sorts the
+//     packets by (SentAt, Flow, Seq) — the canonical order, identical
+//     to the order a single-loop fleet under Config.Canonical would
+//     have generated them in, because the canonical scheduler drains
+//     same-instant wakes in flow order (see fleet.drain).
+//  4. Replay. The merged packets are injected into the bottleneck
+//     loop at their exact send times and that loop runs to the window
+//     end, evolving queue state, drops and service identically to the
+//     single-loop run.
+//
+// When no shard has an event inside the next window, no delivery is
+// pending and no lifecycle action is due, the coordinator jumps the
+// clock to the window (on the Δ grid) containing the earliest pending
+// event instead of grinding through empty windows.
+//
+// # Why determinism survives
+//
+// Every cross-shard interaction is funneled through two K-invariant
+// channels: the merged injection order (canonical, arrival-order-free)
+// and the peeked acknowledgment (a pure function of bottleneck state).
+// The policy cache is split into planner.DefaultCacheStripes
+// independent stripes keyed by flow mod stripe count; shard counts are
+// restricted to divisors of the stripe count, so each stripe is only
+// ever touched by one shard (no locks) and the per-stripe operation
+// sequence — hence every hit, miss and cached decision — depends only
+// on the fixed stripe partition, never on K. Shard loop RNGs are
+// untouched by fleet topologies. The Workers knob composes: in a
+// sharded fleet it is the per-shard rollout pool width (default
+// GOMAXPROCS/K), and rollout results are bit-identical for any width.
+//
+// Lifecycle under sharding is barrier-aligned: churn draws, crashes,
+// health checks and restarts execute at window boundaries (every due
+// time snapped up to the Δ grid), in flow order, so the event log and
+// replay hash are identical for every shard count — though not to the
+// single-loop Supervisor's mid-window schedule, which is a different
+// (equally deterministic) protocol. Sharded restarts are always cold:
+// checkpoint restore needs the single-loop fleet plumbing.
+package shard
+
+import (
+	"hash"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/elements"
+	"modelcc/internal/fleet"
+	"modelcc/internal/lifecycle"
+	"modelcc/internal/packet"
+	"modelcc/internal/planner"
+	"modelcc/internal/sim"
+	"modelcc/internal/units"
+)
+
+// Config describes a sharded fleet run.
+type Config struct {
+	// Fleet is the underlying fleet configuration. Workers here is the
+	// TOTAL rollout budget; each shard's pool gets Workers/K (min 1).
+	// Zero keeps the fleet default (GOMAXPROCS) as the total.
+	Fleet fleet.Config
+	// Shards is the requested shard count; 0 means runtime.NumCPU().
+	// The effective count is the largest power of two at most the
+	// request and at most planner.DefaultCacheStripes, so it always
+	// divides the cache stripe count (the determinism invariant).
+	Shards int
+}
+
+// ResolveShards maps a requested shard count to the effective one.
+func ResolveShards(req int) int {
+	if req <= 0 {
+		req = runtime.NumCPU()
+	}
+	k := 1
+	for k*2 <= req && k*2 <= planner.DefaultCacheStripes {
+		k *= 2
+	}
+	return k
+}
+
+// Fleet is the sharded runtime: K fleet.Partitions coupled to one
+// authoritative bottleneck loop. Build with New, drive with Run (or
+// RunChurn via Churn).
+type Fleet struct {
+	// Cfg is the resolved fleet configuration.
+	Cfg fleet.Config
+	// K is the effective shard count.
+	K int
+	// Delta is the coupling window: one packet's service time on the
+	// bottleneck, the conservative lookahead.
+	Delta time.Duration
+	// Parts are the shards; flow f lives on Parts[f mod K].
+	Parts []*fleet.Partition
+	// BLoop is the authoritative bottleneck loop.
+	BLoop *sim.Loop
+	// Buffer/FQ/Link/Recv mirror fleet.Fleet's bottleneck elements.
+	Buffer *elements.Buffer
+	FQ     *elements.FairQueue
+	Link   *elements.Throughput
+	Recv   *elements.Receiver
+	// Caches is the striped policy cache shared (without locks) by all
+	// shards.
+	Caches *planner.CacheStripes
+	// OrphanAcks counts deliveries for flows with no live member.
+	OrphanAcks int64
+	// Events is the barrier-aligned lifecycle log (empty without
+	// churn).
+	Events []lifecycle.Event
+	// Stats counts lifecycle activity (zero without churn).
+	Stats lifecycle.Stats
+
+	now      time.Duration
+	slots    int // flow-space size: flows ever allocated are 0..slots-1
+	started  bool
+	zeroStep bool
+	churn    *churnState
+	merged   []packet.Packet
+}
+
+// New builds the sharded runtime. Nothing runs until Run.
+func New(cfg Config) *Fleet {
+	// Sharding requires canonical same-instant scheduling (the
+	// cross-shard merge replays events in flow order, so partition-local
+	// wakes must drain the same way) and a striped cache (partitions own
+	// disjoint stripe subsets). A single-loop fleet.Fleet reproduces a
+	// sharded run bit for bit only when configured with the same two
+	// values — fleet.Config{Canonical: true, CacheStripes:
+	// planner.DefaultCacheStripes}.
+	cfg.Fleet.Canonical = true
+	if cfg.Fleet.CacheStripes <= 0 {
+		cfg.Fleet.CacheStripes = planner.DefaultCacheStripes
+	}
+	fc := cfg.Fleet.Resolved()
+	k := ResolveShards(cfg.Shards)
+	sf := &Fleet{
+		Cfg:   fc,
+		K:     k,
+		Delta: units.TransmitTime(packet.DefaultSizeBits, fc.LinkRate),
+		BLoop: sim.New(fc.Seed),
+	}
+	if !fc.NoSharedCache {
+		sf.Caches = planner.NewCacheStripes(fc.CacheStripes, fc.CacheEntries)
+		sf.Caches.SetQuanta(50*time.Millisecond, 1e-3)
+	}
+	// The receiver counts deliveries; member delivery happens through
+	// the coordinator's peek, so no callback is wired.
+	sf.Recv = elements.NewReceiver(sf.BLoop, nil)
+	if fc.FairQueue {
+		sf.FQ = elements.NewFairQueue(fc.BufferCapBits)
+		sf.Link = elements.NewThroughput(sf.BLoop, fc.LinkRate, sf.Recv)
+		sf.FQ.AttachDrain(sf.Link)
+	} else {
+		sf.Buffer, sf.Link = elements.NewBottleneck(sf.BLoop, fc.BufferCapBits, fc.LinkRate, sf.Recv)
+	}
+
+	pc := fc
+	pc.Workers = perShardWorkers(fc.Workers, k)
+	for i := 0; i < k; i++ {
+		sf.Parts = append(sf.Parts, fleet.NewPartition(pc, i, k, sf.Caches))
+	}
+	return sf
+}
+
+// perShardWorkers splits the total rollout budget across shards.
+func perShardWorkers(total, k int) int {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	w := total / k
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (sf *Fleet) owner(flow packet.FlowID) *fleet.Partition {
+	return sf.Parts[int(flow)%sf.K]
+}
+
+// MemberAt returns the flow's live member, nil when vacant.
+func (sf *Fleet) MemberAt(flow packet.FlowID) *fleet.Member {
+	if int(flow) >= sf.slots {
+		return nil
+	}
+	return sf.owner(flow).MemberAt(flow)
+}
+
+// MemberSlots returns the member table in flow order (nil per vacant
+// slot), mirroring fleet.Fleet.Members for sweep reducers.
+func (sf *Fleet) MemberSlots() []*fleet.Member {
+	ms := make([]*fleet.Member, sf.slots)
+	for i := range ms {
+		ms[i] = sf.owner(packet.FlowID(i)).MemberAt(packet.FlowID(i))
+	}
+	return ms
+}
+
+// Live reports the number of live members.
+func (sf *Fleet) Live() int {
+	n := 0
+	for i := 0; i < sf.slots; i++ {
+		if sf.MemberAt(packet.FlowID(i)) != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Slots reports the flow-space high-water mark (= len(Members) of the
+// single-loop fleet).
+func (sf *Fleet) Slots() int { return sf.slots }
+
+func (sf *Fleet) rawDrops(flow packet.FlowID) int {
+	if sf.Buffer != nil {
+		return sf.Buffer.Drops[flow]
+	}
+	if sf.FQ != nil {
+		return sf.FQ.Drops[flow]
+	}
+	return 0
+}
+
+// Drops reports total bottleneck drops across all flows.
+func (sf *Fleet) Drops() int {
+	total := 0
+	for i := 0; i < sf.slots; i++ {
+		total += sf.rawDrops(packet.FlowID(i))
+	}
+	return total
+}
+
+// Delivered reports the live generation's fenced deliveries (see
+// fleet.Fleet.Delivered).
+func (sf *Fleet) Delivered(flow packet.FlowID) int {
+	base, ok := sf.owner(flow).BaseDelivered(flow)
+	if !ok {
+		return 0
+	}
+	return sf.Recv.Received[flow] - base
+}
+
+// DeliveredTotal reports all-generations deliveries for the flow.
+func (sf *Fleet) DeliveredTotal(flow packet.FlowID) int {
+	return sf.Recv.Received[flow]
+}
+
+// FlowDrops reports the live generation's fenced drops.
+func (sf *Fleet) FlowDrops(flow packet.FlowID) int {
+	base, ok := sf.owner(flow).BaseDrops(flow)
+	if !ok {
+		return 0
+	}
+	return sf.rawDrops(flow) - base
+}
+
+// InFlight reports the flow's packets still inside the bottleneck.
+func (sf *Fleet) InFlight(flow packet.FlowID) int64 {
+	inj := sf.owner(flow).InjectedTotal(flow)
+	return inj - int64(sf.Recv.Received[flow]) - int64(sf.rawDrops(flow))
+}
+
+// CacheStats sums the striped cache's Decide-path counters. Call only
+// between windows or after Run.
+func (sf *Fleet) CacheStats() (hits, misses int) {
+	if sf.Caches == nil {
+		return 0, 0
+	}
+	return sf.Caches.Stats()
+}
+
+// Now reports the coordinator's barrier time.
+func (sf *Fleet) Now() time.Duration { return sf.now }
+
+// start attaches and staggers the initial members exactly as
+// fleet.New + fleet.Start would.
+func (sf *Fleet) start() {
+	if sf.started {
+		return
+	}
+	sf.started = true
+	n := int64(sf.Cfg.N)
+	for i := 0; i < sf.Cfg.N; i++ {
+		flow := packet.FlowID(i)
+		m := sf.owner(flow).AttachCold(flow, 0, 0)
+		m.Start(time.Duration(int64(sf.Cfg.Stagger) * int64(i) / n))
+	}
+	sf.slots = sf.Cfg.N
+}
+
+// admit starts a fresh cold member on flow with the given offset,
+// extending the flow space as needed. The offset is clamped strictly
+// positive: admissions happen at window barriers, and the windowed
+// protocol requires that no member event lands exactly ON a barrier
+// the coordinator has already opened (the peek at barrier W assumes
+// every instant ≤ W is fully processed).
+func (sf *Fleet) admit(flow packet.FlowID, offset time.Duration) *fleet.Member {
+	if offset <= 0 {
+		offset = time.Nanosecond
+	}
+	m := sf.owner(flow).AttachCold(flow, sf.Recv.Received[flow], sf.rawDrops(flow))
+	m.Start(offset)
+	if int(flow) >= sf.slots {
+		sf.slots = int(flow) + 1
+	}
+	return m
+}
+
+// retire tears the flow's member down, mirroring fleet.Retire.
+func (sf *Fleet) retire(flow packet.FlowID) *fleet.Member {
+	return sf.owner(flow).RetireMember(flow, sf.Recv.Received[flow], sf.rawDrops(flow))
+}
+
+// Run drives the sharded fleet to the absolute virtual time d.
+func (sf *Fleet) Run(d time.Duration) {
+	sf.start()
+	if !sf.zeroStep {
+		// Process instant 0 as its own zero-width step. Member starts at
+		// offset 0 fire here, and their injections replay onto the
+		// bottleneck BEFORE the first real window opens — so a service
+		// beginning exactly at t=0 is in flight at the first peek, like
+		// every later window-start service. Without this, a completion
+		// landing exactly on the first barrier would be invisible to the
+		// peek (the link was idle when the window opened).
+		sf.zeroStep = true
+		sf.window(0)
+	}
+	for sf.now < d {
+		if sf.churn != nil {
+			sf.lifecycleBarrier()
+		}
+		end := sf.now + sf.Delta
+		if end > d {
+			end = d
+		}
+		// Idle skip-ahead: when nothing can happen inside this window —
+		// or for many windows after it — jump the clock along the Δ
+		// grid to the window containing the earliest pending event.
+		if t, ok := sf.nextAnything(d); !ok {
+			sf.advanceAll(d)
+			sf.now = d
+			break
+		} else if t > end {
+			k := (t - 1) / sf.Delta // window (kΔ, (k+1)Δ] contains t
+			w := k * sf.Delta
+			if w > sf.now {
+				sf.advanceAll(w)
+				sf.now = w
+			}
+			continue
+		}
+		sf.window(end)
+		sf.now = end
+	}
+}
+
+// nextAnything reports the earliest pending instant in the whole
+// system: shard events, the in-service completion, lifecycle dues.
+func (sf *Fleet) nextAnything(limit time.Duration) (time.Duration, bool) {
+	best := time.Duration(math.MaxInt64)
+	ok := false
+	for _, p := range sf.Parts {
+		if t, has := p.NextEventTime(); has && t < best {
+			best, ok = t, true
+		}
+	}
+	if _, doneAt, has := sf.Link.InService(); has && doneAt < best {
+		best, ok = doneAt, true
+	}
+	if t, has := sf.BLoop.PeekTime(); has && t < best {
+		// Defensive: the bottleneck loop's own queue (e.g. a queued
+		// service start) also bounds the skip.
+		best, ok = t, true
+	}
+	if sf.churn != nil {
+		if t, has := sf.churn.nextDue(); has && t < best {
+			best, ok = t, true
+		}
+	}
+	if best > limit {
+		// Nothing before the end of the run still counts as "something"
+		// so the caller advances to limit, not past it.
+		return best, ok && best <= limit
+	}
+	return best, ok
+}
+
+// advanceAll moves every loop's clock to t without firing anything
+// (nothing is pending before t by construction).
+func (sf *Fleet) advanceAll(t time.Duration) {
+	for _, p := range sf.Parts {
+		p.RunTo(t)
+	}
+	sf.BLoop.Run(t)
+}
+
+// window executes one coupling round ending at end.
+func (sf *Fleet) window(end time.Duration) {
+	// 1. Peek: the at-most-one delivery this window can contain.
+	if pkt, doneAt, ok := sf.Link.InService(); ok && doneAt <= end {
+		m := sf.MemberAt(pkt.Flow)
+		if m == nil || m.Retired() {
+			// Membership only changes at barriers, so the peek-time
+			// check equals the delivery-time check the single-loop
+			// fleet performs.
+			sf.OrphanAcks++
+		} else {
+			sf.owner(pkt.Flow).ScheduleAck(packet.Ack{
+				Flow:       pkt.Flow,
+				Seq:        pkt.Seq,
+				ReceivedAt: doneAt,
+				SentAt:     pkt.SentAt,
+			})
+		}
+	}
+
+	// 2. Run the shards to the window end in parallel.
+	if sf.K == 1 {
+		sf.Parts[0].RunTo(end)
+	} else {
+		var wg sync.WaitGroup
+		for _, p := range sf.Parts {
+			wg.Add(1)
+			go func(p *fleet.Partition) {
+				defer wg.Done()
+				p.RunTo(end)
+			}(p)
+		}
+		wg.Wait()
+	}
+
+	// 3. Merge the outboxes in canonical (SentAt, Flow, Seq) order —
+	// the order the single-loop fleet generates: time first, and the
+	// fleet scheduler wakes same-instant members in flow order. The
+	// sort only reorders across shards; ties beyond Seq are impossible
+	// (one member emits one (Flow, Seq) once).
+	sf.merged = sf.merged[:0]
+	for _, p := range sf.Parts {
+		sf.merged = append(sf.merged, p.Out.Pkts...)
+		p.Out.Reset()
+	}
+	sort.Slice(sf.merged, func(i, j int) bool {
+		a, b := sf.merged[i], sf.merged[j]
+		if a.SentAt != b.SentAt {
+			return a.SentAt < b.SentAt
+		}
+		if a.Flow != b.Flow {
+			return a.Flow < b.Flow
+		}
+		return a.Seq < b.Seq
+	})
+
+	// 4. Replay onto the authoritative bottleneck at exact send times.
+	// Same-instant ordering matches the single-loop run: a completion
+	// at instant t was armed when its service began (< t), so its
+	// sequence number is smaller than these injections' and it fires
+	// first — exactly as the single loop fires the completion before
+	// the drain that triggers the sends.
+	q := sf.q()
+	for i := range sf.merged {
+		pkt := sf.merged[i]
+		sf.BLoop.Schedule(pkt.SentAt, func() { q.Receive(pkt) })
+	}
+	sf.BLoop.Run(end)
+}
+
+func (sf *Fleet) q() elements.Node {
+	if sf.FQ != nil {
+		return sf.FQ
+	}
+	return sf.Buffer
+}
+
+// Digest hashes the run's observable results — per-flow totals, drops,
+// orphans, and every member's counters and aggregates — with FNV-1a.
+// Two runs with equal digests produced bit-identical fleets. The same
+// byte stream is produced by DigestFleet over a single-loop fleet, so
+// shards=K can be asserted against the unsharded runtime.
+func (sf *Fleet) Digest() uint64 {
+	return digest(sf.slots, sf.Live(), sf.Drops(), sf.OrphanAcks,
+		func(flow packet.FlowID) int { return sf.DeliveredTotal(flow) },
+		func(flow packet.FlowID) *fleet.Member { return sf.MemberAt(flow) })
+}
+
+// DigestFleet is Digest computed over a single-loop fleet.
+func DigestFleet(fl *fleet.Fleet) uint64 {
+	return digest(len(fl.Members), fl.Live(), fl.Drops(), fl.OrphanAcks,
+		func(flow packet.FlowID) int { return fl.DeliveredTotal(flow) },
+		func(flow packet.FlowID) *fleet.Member { return fl.Members[flow] })
+}
+
+func digest(slots, live, drops int, orphans int64,
+	delivered func(packet.FlowID) int, member func(packet.FlowID) *fleet.Member) uint64 {
+	h := fnvHasher()
+	h.put(uint64(slots), uint64(live), uint64(drops), uint64(orphans))
+	for i := 0; i < slots; i++ {
+		flow := packet.FlowID(i)
+		h.put(uint64(i), uint64(delivered(flow)))
+		m := member(flow)
+		if m == nil {
+			h.put(^uint64(0))
+			continue
+		}
+		h.put(uint64(m.Flow), uint64(m.Gen),
+			uint64(m.Sender.Sent), uint64(m.Sender.Acked), uint64(m.Sender.Wakes),
+			uint64(m.Injected), uint64(m.Delay.N),
+			math.Float64bits(m.Delay.Sum), math.Float64bits(m.Utility))
+	}
+	return h.sum()
+}
+
+// hasher is a little-endian uint64 FNV-1a accumulator shared by the
+// digest and replay-hash paths.
+type hasher struct{ h hash.Hash64 }
+
+func fnvHasher() *hasher { return &hasher{h: fnv.New64a()} }
+
+func (x *hasher) put(vs ...uint64) {
+	var b [8]byte
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		x.h.Write(b[:])
+	}
+}
+
+func (x *hasher) sum() uint64 { return x.h.Sum64() }
+
+// beliefReseeds mirrors the Supervisor's health signal read.
+func beliefReseeds(m *fleet.Member) int {
+	switch b := m.Sender.Belief.(type) {
+	case *belief.Exact:
+		return b.Cum.Reseeded
+	case *belief.Particle:
+		return b.Cum.Reseeded
+	}
+	return 0
+}

@@ -165,6 +165,26 @@ func (l *Loop) Step() bool {
 	return false
 }
 
+// PeekTime reports the timestamp of the next live (non-cancelled)
+// event without firing it; ok is false when none is scheduled. The
+// windowed-horizon coordinator (internal/shard) uses it to skip empty
+// conservative windows: when every shard's next event lies beyond the
+// current horizon, the coordinator can open the window containing the
+// earliest one instead of grinding through silent windows one by one.
+// Cancelled events at the head are reaped as a side effect.
+func (l *Loop) PeekTime() (at time.Duration, ok bool) {
+	for len(l.pq) > 0 {
+		next := l.pq[0]
+		if next.cancel {
+			heap.Pop(&l.pq)
+			next.index = -1
+			continue
+		}
+		return next.at, true
+	}
+	return 0, false
+}
+
 // Run fires events until the queue is empty or the next event lies
 // strictly beyond until; it then advances the clock to until. It reports
 // the number of events fired.

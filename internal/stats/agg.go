@@ -1,5 +1,7 @@
 package stats
 
+import "math"
+
 // Jain's fairness index and streaming per-flow aggregation, used by the
 // multi-flow fairness sweeps (internal/experiments.FairnessSweep): with
 // hundreds of senders in one process, per-flow metrics must accumulate
@@ -25,8 +27,10 @@ func JainIndex(xs []float64) float64 {
 }
 
 // Summary is a streaming aggregate of a sample stream: count, sum, min,
-// max. The zero value is an empty summary. Unlike Series it retains no
-// samples, so a fleet of thousands of flows can keep one per flow.
+// max, and the second central moment (Welford's M2) for variance. The
+// zero value is an empty summary. Unlike Series it retains no samples,
+// so a fleet of thousands of flows can keep one per flow and a
+// N=4096 run stays flat in heap.
 type Summary struct {
 	// N is the number of samples.
 	N int64
@@ -34,6 +38,9 @@ type Summary struct {
 	Sum float64
 	// MinV and MaxV are the extreme samples (zero when N == 0).
 	MinV, MaxV float64
+	// M2 is the sum of squared deviations from the running mean
+	// (Welford), maintained online so Var needs no second pass.
+	M2 float64
 }
 
 // Add accumulates one sample.
@@ -44,8 +51,16 @@ func (s *Summary) Add(v float64) {
 	if s.N == 0 || v > s.MaxV {
 		s.MaxV = v
 	}
+	var oldMean float64
+	if s.N > 0 {
+		oldMean = s.Sum / float64(s.N)
+	} else {
+		oldMean = v
+	}
 	s.N++
 	s.Sum += v
+	newMean := s.Sum / float64(s.N)
+	s.M2 += (v - oldMean) * (v - newMean)
 }
 
 // Mean returns the arithmetic mean; 0 when empty.
@@ -56,7 +71,19 @@ func (s *Summary) Mean() float64 {
 	return s.Sum / float64(s.N)
 }
 
-// Merge folds another summary into this one.
+// Var returns the population variance; 0 with fewer than two samples.
+func (s *Summary) Var() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return s.M2 / float64(s.N)
+}
+
+// Std returns the population standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Merge folds another summary into this one (Chan et al.'s parallel
+// update for M2).
 func (s *Summary) Merge(o Summary) {
 	if o.N == 0 {
 		return
@@ -71,6 +98,9 @@ func (s *Summary) Merge(o Summary) {
 	if o.MaxV > s.MaxV {
 		s.MaxV = o.MaxV
 	}
+	delta := o.Sum/float64(o.N) - s.Sum/float64(s.N)
+	nA, nB := float64(s.N), float64(o.N)
+	s.M2 += o.M2 + delta*delta*nA*nB/(nA+nB)
 	s.N += o.N
 	s.Sum += o.Sum
 }

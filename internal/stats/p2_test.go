@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference the streaming estimator is scored
+// against.
+func exactQuantile(vals []float64, p float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// TestP2ErrorBounds pins the estimator's relative error on the
+// distributions fleet delays actually resemble: roughly exponential
+// queueing tails and a bimodal mix (uncongested floor plus congested
+// plateau). The bounds are deliberately loose enough to be stable
+// across platforms but tight enough that a broken marker update fails
+// immediately.
+func TestP2ErrorBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(r *rand.Rand) float64
+		p    float64
+		tol  float64 // max |est-exact| / spread
+	}{
+		{"exponential-p50", func(r *rand.Rand) float64 { return r.ExpFloat64() }, 0.5, 0.05},
+		{"exponential-p99", func(r *rand.Rand) float64 { return r.ExpFloat64() }, 0.99, 0.15},
+		{"uniform-p90", func(r *rand.Rand) float64 { return r.Float64() }, 0.9, 0.05},
+		{"bimodal-p50", func(r *rand.Rand) float64 {
+			if r.Float64() < 0.7 {
+				return 0.01 + 0.002*r.Float64()
+			}
+			return 1 + 0.2*r.Float64()
+		}, 0.5, 0.05},
+	}
+	const n = 20000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			est := NewP2(tc.p)
+			vals := make([]float64, 0, n)
+			for i := 0; i < n; i++ {
+				v := tc.gen(r)
+				vals = append(vals, v)
+				est.Add(v)
+			}
+			exact := exactQuantile(vals, tc.p)
+			spread := exactQuantile(vals, 0.999) - exactQuantile(vals, 0.001)
+			if spread <= 0 {
+				t.Fatalf("degenerate sample spread")
+			}
+			relErr := math.Abs(est.Value()-exact) / spread
+			if relErr > tc.tol {
+				t.Fatalf("p%.0f estimate %.5f vs exact %.5f: relative error %.4f > %.4f",
+					tc.p*100, est.Value(), exact, relErr, tc.tol)
+			}
+			if est.N() != n {
+				t.Fatalf("N = %d, want %d", est.N(), n)
+			}
+		})
+	}
+}
+
+// TestP2SmallStreams: before five samples the estimate must be exact.
+func TestP2SmallStreams(t *testing.T) {
+	est := NewP2(0.5)
+	if est.Value() != 0 {
+		t.Fatalf("empty estimator should report 0")
+	}
+	est.Add(3)
+	est.Add(1)
+	est.Add(2)
+	if got := est.Value(); got != 2 {
+		t.Fatalf("median of {1,2,3} = %g, want 2", got)
+	}
+}
+
+// TestSummaryVariance pins the streaming M2 against a two-pass
+// computation, including under Merge.
+func TestSummaryVariance(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var all []float64
+	var a, b Summary
+	for i := 0; i < 1000; i++ {
+		v := r.NormFloat64()*3 + 10
+		all = append(all, v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	mean := 0.0
+	for _, v := range all {
+		mean += v
+	}
+	mean /= float64(len(all))
+	var m2 float64
+	for _, v := range all {
+		m2 += (v - mean) * (v - mean)
+	}
+	wantVar := m2 / float64(len(all))
+	if got := a.Var(); math.Abs(got-wantVar) > 1e-9*wantVar+1e-12 {
+		t.Fatalf("Var = %g, want %g", got, wantVar)
+	}
+	if a.N != int64(len(all)) {
+		t.Fatalf("N = %d, want %d", a.N, len(all))
+	}
+	if got, want := a.Std(), math.Sqrt(wantVar); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("Std = %g, want %g", got, want)
+	}
+}
