@@ -15,7 +15,18 @@
 //   - Churn (-churn): the fleet lives under a seeded churn schedule —
 //     arrivals, departures, crash-kills — with the lifecycle
 //     Supervisor checkpointing members and restarting casualties
-//     through the hot/warm/cold ladder (internal/lifecycle).
+//     through the hot/warm/cold ladder (internal/lifecycle). With
+//     -shards K the barrier-aligned sharded lifecycle runs instead,
+//     with barrier checkpoints (disable via -no-ckpt, mirror via
+//     -checkpoint-dir) giving its restarts the same ladder.
+//   - Shard faults (-shard-crash / -shard-stall): the sharded runtime
+//     under the deterministic shard-kill/stall schedule — whole
+//     virtual shards die at window barriers and fail over onto
+//     survivors, stalled shards serve degraded through the Guard
+//     ladder. -window-budget arms the wall-clock watchdog
+//     (nondeterministic; keep it off when hashes matter).
+//     -verify-shards "1,4" re-runs every point at each listed shard
+//     count and fails unless the replay hashes agree bit for bit.
 //
 // Usage:
 //
@@ -27,6 +38,8 @@
 //	go run ./cmd/fleetsim -churn [-epoch 10s] [-depart .04] [-crash .06]
 //	                      [-arrive .5] [-no-ckpt] [-checkpoint-dir d]
 //	                      [-json out.json]
+//	go run ./cmd/fleetsim -shard-crash [-shard-stall] [-shards K]
+//	                      [-window-budget 0] [-verify-shards "1,4"]
 //
 // Examples:
 //
@@ -35,6 +48,8 @@
 //	go run ./cmd/fleetsim -n 256 -per-flow         # every flow's numbers
 //	go run ./cmd/fleetsim -churn -smoke            # CI churn soak
 //	go run ./cmd/fleetsim -churn -shards 4 -smoke  # sharded-lifecycle soak
+//	go run ./cmd/fleetsim -shards 4 -shard-crash -smoke   # failover soak
+//	go run ./cmd/fleetsim -shard-crash -verify-shards 1,4 # failover determinism
 //	go run ./cmd/fleetsim -n 256 -shards 8 -lean   # big fleet, flat heap
 //	go run ./cmd/fleetsim -jain-floor 0.9          # exit 3 if any point under
 //
@@ -84,6 +99,10 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "mirror member checkpoints to this directory")
 	smoke := flag.Bool("smoke", false, "small fast churn soak for CI (overrides -n and -dur)")
 	jsonOut := flag.String("json", "", "also write churn results as JSON to this file")
+	shardCrash := flag.Bool("shard-crash", false, "sharded runtime: arm the deterministic shard-kill schedule (whole virtual shards fail over at barriers)")
+	shardStall := flag.Bool("shard-stall", false, "sharded runtime: arm the deterministic stall schedule (stalled shards serve degraded)")
+	windowBudget := flag.Duration("window-budget", 0, "sharded runtime: wall-clock watchdog budget per coupling window (0 off; nondeterministic)")
+	verifyShards := flag.String("verify-shards", "", "comma-separated shard counts to re-run every point at; fail unless replay hashes agree")
 	flag.Parse()
 
 	stopProf, err := startProfiling(*cpuprofile, *memprofile, *traceFile)
@@ -113,10 +132,19 @@ func main() {
 		}
 	})
 
-	if *churn {
-		if shardsSet && *shards > 0 {
-			runShardChurn(sizes, *dur, *seed, *shards, *workers, *fq, *lean,
-				*epoch, *depart, *crash, *arrive, *smoke, *jsonOut, exit)
+	faultMode := *shardCrash || *shardStall || *windowBudget > 0 || *verifyShards != ""
+	if *churn || faultMode {
+		if faultMode || (shardsSet && *shards > 0) {
+			runShardChurn(shardChurnOpts{
+				sizes: sizes, dur: *dur, seed: *seed, shards: *shards, workers: *workers,
+				fq: *fq, lean: *lean,
+				churn: *churn || !faultMode,
+				epoch: *epoch, depart: *depart, crash: *crash, arrive: *arrive,
+				noCkpt: *noCkpt, ckptDir: *ckptDir,
+				shardCrash: *shardCrash, shardStall: *shardStall,
+				windowBudget: *windowBudget, verifyShards: *verifyShards,
+				smoke: *smoke, jsonOut: *jsonOut, exit: exit,
+			})
 		} else {
 			runChurn(churnOpts{
 				sizes: sizes, dur: *dur, seed: *seed, workers: *workers, fq: *fq,
@@ -209,43 +237,118 @@ func startProfiling(cpu, mem, tr string) (stop func(), err error) {
 	}, nil
 }
 
-// runShardChurn is the churn mode on the sharded runtime: the
-// barrier-aligned lifecycle (cold restarts only, events on the window
-// grid) whose replay hash is invariant across shard counts.
-func runShardChurn(sizes []int, dur time.Duration, seed int64, shards, workers int,
-	fq, lean bool, epoch time.Duration, depart, crash, arrive float64,
-	smoke bool, jsonOut string, exit func(int)) {
-	if smoke {
+type shardChurnOpts struct {
+	sizes                  []int
+	dur                    time.Duration
+	seed                   int64
+	shards, workers        int
+	fq, lean               bool
+	churn                  bool
+	epoch                  time.Duration
+	depart, crash, arrive  float64
+	noCkpt                 bool
+	ckptDir                string
+	shardCrash, shardStall bool
+	windowBudget           time.Duration
+	verifyShards           string
+	smoke                  bool
+	jsonOut                string
+	exit                   func(int)
+}
+
+// runShardChurn is the lifecycle mode on the sharded runtime: the
+// barrier-aligned churn lifecycle and/or the deterministic shard-fault
+// schedule, with barrier checkpoints arming the hot/warm/cold restart
+// ladder. The replay hash is invariant across shard counts (except
+// under -window-budget, whose wall-clock verdicts are inherently
+// nondeterministic).
+func runShardChurn(o shardChurnOpts) {
+	sizes, dur := o.sizes, o.dur
+	if o.smoke {
 		sizes = []int{8}
 		dur = 60 * time.Second
 	} else if len(sizes) == 0 {
 		sizes = []int{4, 16, 64}
 	}
+	base := experiments.ShardChurnConfig{
+		Shards: o.shards, Duration: dur, Seed: o.seed,
+		Epoch: o.epoch, DepartProb: o.depart, CrashProb: o.crash, ArriveProb: o.arrive,
+		FairQueue: o.fq, Workers: o.workers, LeanStats: o.lean,
+		NoChurn:     !o.churn,
+		Checkpoints: !o.noCkpt, CheckpointDir: o.ckptDir,
+		WindowBudget: o.windowBudget,
+	}
+	if o.shardCrash {
+		base.ShardKillProb = 0.3
+	}
+	if o.shardCrash || o.shardStall {
+		base.ShardStallProb = 0.25
+	}
+	if o.noCkpt {
+		base.CheckpointDir = ""
+	}
+
+	verify, err := parseSizes(o.verifyShards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsim: -verify-shards: %v\n", err)
+		o.exit(2)
+	}
+	if len(verify) > 0 && o.windowBudget > 0 {
+		fmt.Fprintln(os.Stderr, "fleetsim: -verify-shards cannot run under -window-budget (wall-clock verdicts are nondeterministic)")
+		o.exit(2)
+	}
+
 	start := time.Now()
 	var points []experiments.ShardChurnResult
 	for _, n := range sizes {
-		points = append(points, experiments.RunShardChurn(experiments.ShardChurnConfig{
-			N: n, Shards: shards, Duration: dur, Seed: seed,
-			Epoch: epoch, DepartProb: depart, CrashProb: crash, ArriveProb: arrive,
-			FairQueue: fq, Workers: workers, LeanStats: lean,
-		}))
+		cfg := base
+		cfg.N = n
+		p := experiments.RunShardChurn(cfg)
+		points = append(points, p)
+		for _, k := range verify {
+			if k == p.Cfg.Shards {
+				continue
+			}
+			alt := base
+			alt.N, alt.Shards = n, k
+			if got := experiments.RunShardChurn(alt); got.ReplayHash != p.ReplayHash {
+				fmt.Fprintf(os.Stderr, "fleetsim: N=%d replay hash diverges across shard counts: shards=%d %016x vs shards=%d %016x\n",
+					n, p.Cfg.Shards, p.ReplayHash, k, got.ReplayHash)
+				o.exit(1)
+			}
+		}
 	}
 	fmt.Print(experiments.RenderShardChurn(points))
+	if len(verify) > 0 {
+		fmt.Printf("replay hashes verified bit-identical across shards=%v\n", verify)
+	}
 	fmt.Printf("(%v wall)\n", time.Since(start).Round(time.Millisecond))
 	for _, p := range points {
-		if p.Stats.Crashes+p.Stats.Departures+p.Stats.Arrivals == 0 {
+		if o.churn && p.Stats.Crashes+p.Stats.Departures+p.Stats.Arrivals == 0 {
 			fmt.Fprintf(os.Stderr, "fleetsim: N=%d sharded churn produced no lifecycle events\n", p.Cfg.N)
-			exit(1)
+			o.exit(1)
+		}
+		if o.shardCrash && p.Failover.ShardKills == 0 {
+			fmt.Fprintf(os.Stderr, "fleetsim: N=%d shard-crash schedule produced no kills\n", p.Cfg.N)
+			o.exit(1)
+		}
+		if (o.shardCrash || o.shardStall) && p.Failover.Stalls == 0 {
+			fmt.Fprintf(os.Stderr, "fleetsim: N=%d stall schedule produced no stalls\n", p.Cfg.N)
+			o.exit(1)
+		}
+		if p.Stats.CheckpointErrors > 0 {
+			fmt.Fprintf(os.Stderr, "fleetsim: N=%d saw %d checkpoint errors\n", p.Cfg.N, p.Stats.CheckpointErrors)
+			o.exit(1)
 		}
 	}
-	if jsonOut != "" {
+	if o.jsonOut != "" {
 		b, err := json.MarshalIndent(points, "", "  ")
 		if err == nil {
-			err = os.WriteFile(jsonOut, b, 0o644)
+			err = os.WriteFile(o.jsonOut, b, 0o644)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fleetsim: writing %s: %v\n", jsonOut, err)
-			exit(1)
+			fmt.Fprintf(os.Stderr, "fleetsim: writing %s: %v\n", o.jsonOut, err)
+			o.exit(1)
 		}
 	}
 }

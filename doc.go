@@ -90,6 +90,38 @@
 // fault menu and records the invariants in BENCH_3.json; see README.md
 // ("Failure model").
 //
+// # Shard fault tolerance
+//
+// internal/shard runs the fleet's flows on K parallel DES loops under
+// a windowed conservative-lookahead protocol whose results are
+// bit-identical for every shard count; internal/shard/fault.go makes
+// that split survivable. Shards checkpoint resident members
+// incrementally at window barriers through the internal/lifecycle
+// codec (checkpoint stores are topology-free: K = 1 and K = 8 produce
+// byte-identical bytes). Deterministic kill and stall schedules are
+// drawn from chaos.Sub("shardfault") over virtual shards — the 16
+// policy-cache stripe residue classes — so the affected member set is
+// K-invariant; on a kill, flows re-home onto the next surviving
+// partition in ring order, restore hot/warm/cold from the latest
+// barrier checkpoint, and the dead generation's post-checkpoint
+// in-flight sends are fenced at the coordinator's peek so no
+// generation's delivery or drop accounting ever merges across a
+// failover. A wall-clock watchdog (EnableWatchdog) pins an
+// overrunning partition's members to planner.Guard's degradation
+// ladder for the next window and counts every decision served that
+// way.
+//
+// Three restart/degradation ladders therefore compose orthogonally:
+// the shard failover ladder (how a flow comes back on a surviving
+// partition), the lifecycle.Supervisor restart ladder (how a churned
+// or crashed member comes back on its own partition), and the
+// planner.Guard degradation ladder (what a live member does when a
+// decision or window runs over budget). The replay hash, failover
+// counters, fence counts, and restore records are bit-identical for
+// shards in {1, 2, 4, 8} under a fixed seed, with or without churn
+// layered on top; BENCH_7.json records the measured recovery numbers
+// (virtual-time MTTR and post-failover utility, warm vs cold).
+//
 // # Benchmark tracking
 //
 // Run the full suite with

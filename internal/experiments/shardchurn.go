@@ -37,6 +37,23 @@ type ShardChurnConfig struct {
 	Workers int
 	// LeanStats drops per-packet series retention.
 	LeanStats bool
+	// NoChurn disables the churn lifecycle (pure shard-fault runs).
+	NoChurn bool
+	// Checkpoints arms barrier-time checkpointing — the warm rung of
+	// the restart ladder for both churn restarts and shard failovers.
+	// CheckpointEvery and CheckpointDir mirror shard.CheckpointConfig;
+	// a non-empty dir implies Checkpoints.
+	Checkpoints     bool
+	CheckpointEvery time.Duration
+	CheckpointDir   string
+	// ShardKillProb and ShardStallProb arm the deterministic
+	// shard-fault schedule (shard.FaultConfig) when positive, with
+	// FaultEpoch and MaxStall defaulted by the shard runtime.
+	ShardKillProb, ShardStallProb float64
+	FaultEpoch, MaxStall          time.Duration
+	// WindowBudget arms the wall-clock watchdog. Nondeterministic —
+	// leave zero when the replay hash matters.
+	WindowBudget time.Duration
 }
 
 func (c ShardChurnConfig) withDefaults() ShardChurnConfig {
@@ -86,6 +103,19 @@ type ShardChurnResult struct {
 	// is bit-identical for every shard count at fixed (N, Seed, knobs) —
 	// the determinism invariant CI holds the sharded runtime to.
 	ReplayHash uint64
+	// Failover aggregates shard-fault outcomes (zero without faults).
+	Failover shard.FailoverStats
+	// DegradedServed totals decisions served through the Guard
+	// degradation ladder while stalled or watchdogged.
+	DegradedServed int64
+	// FailoverRecovered counts fault-restored generations that absorbed
+	// at least one delivery; MTTR is their mean virtual time from kill
+	// barrier to that first delivery.
+	FailoverRecovered int
+	MTTR              time.Duration
+	// PostFailoverUtility is the mean final utility across fault-
+	// restored generations (NaN-free: zero when none were restored).
+	PostFailoverUtility float64
 }
 
 // RunShardChurn drives one sharded fleet under the barrier-aligned
@@ -104,14 +134,30 @@ func RunShardChurn(cfg ShardChurnConfig) ShardChurnResult {
 		fc.LeanRateFrom = cfg.Duration / 2
 	}
 	sf := shard.New(shard.Config{Fleet: fc, Shards: cfg.Shards})
-	sf.EnableChurn(lifecycle.ChurnConfig{
-		Epoch:      cfg.Epoch,
-		DepartProb: cfg.DepartProb,
-		CrashProb:  cfg.CrashProb,
-		ArriveProb: cfg.ArriveProb,
-		MinLive:    cfg.MinLive,
-		MaxLive:    cfg.N,
-	}, lifecycle.SupervisorConfig{}, chaos.Config{Seed: cfg.Seed})
+	if cfg.Checkpoints || cfg.CheckpointDir != "" {
+		sf.EnableCheckpoints(shard.CheckpointConfig{Every: cfg.CheckpointEvery, Dir: cfg.CheckpointDir})
+	}
+	if cfg.ShardKillProb > 0 || cfg.ShardStallProb > 0 {
+		sf.EnableFaults(shard.FaultConfig{
+			Epoch:     cfg.FaultEpoch,
+			KillProb:  cfg.ShardKillProb,
+			StallProb: cfg.ShardStallProb,
+			MaxStall:  cfg.MaxStall,
+		}, chaos.Config{Seed: cfg.Seed})
+	}
+	if cfg.WindowBudget > 0 {
+		sf.EnableWatchdog(shard.WatchdogConfig{WindowBudget: cfg.WindowBudget})
+	}
+	if !cfg.NoChurn {
+		sf.EnableChurn(lifecycle.ChurnConfig{
+			Epoch:      cfg.Epoch,
+			DepartProb: cfg.DepartProb,
+			CrashProb:  cfg.CrashProb,
+			ArriveProb: cfg.ArriveProb,
+			MinLive:    cfg.MinLive,
+			MaxLive:    cfg.N,
+		}, lifecycle.SupervisorConfig{}, chaos.Config{Seed: cfg.Seed})
+	}
 	sf.Run(cfg.Duration)
 
 	cfg.Shards = sf.K
@@ -128,6 +174,23 @@ func RunShardChurn(cfg ShardChurnConfig) ShardChurnResult {
 	for i := 0; i < sf.Slots(); i++ {
 		res.Delivered += sf.DeliveredTotal(packet.FlowID(i))
 	}
+	res.Failover = sf.Failover
+	res.DegradedServed = sf.DegradedServed()
+	var mttrSum time.Duration
+	var utilSum float64
+	for _, r := range sf.Records {
+		utilSum += r.M.Utility
+		if r.RecoveredAt > r.At {
+			res.FailoverRecovered++
+			mttrSum += r.RecoveredAt - r.At
+		}
+	}
+	if res.FailoverRecovered > 0 {
+		res.MTTR = mttrSum / time.Duration(res.FailoverRecovered)
+	}
+	if len(sf.Records) > 0 {
+		res.PostFailoverUtility = utilSum / float64(len(sf.Records))
+	}
 	return res
 }
 
@@ -138,10 +201,22 @@ func RenderShardChurn(points []ShardChurnResult) string {
 	fmt.Fprintf(&b, "%-6s %7s %10s %7s %7s %7s %7s %8s %7s %9s %16s\n",
 		"N", "shards", "delivered", "drops", "crash", "depart", "arrive", "restart", "live", "orphans", "replay hash")
 	for _, p := range points {
+		restarts := p.Stats.ColdRestarts + p.Stats.HotRestarts + p.Stats.WarmRestarts
 		fmt.Fprintf(&b, "%-6d %7d %10d %7d %7d %7d %7d %8d %7d %9d %016x\n",
 			p.Cfg.N, p.Cfg.Shards, p.Delivered, p.Drops,
-			p.Stats.Crashes, p.Stats.Departures, p.Stats.Arrivals, p.Stats.ColdRestarts,
+			p.Stats.Crashes, p.Stats.Departures, p.Stats.Arrivals, restarts,
 			p.Live, p.OrphanAcks, p.ReplayHash)
+	}
+	for _, p := range points {
+		if p.Failover.ShardKills == 0 && p.Failover.Stalls == 0 && p.Failover.WatchdogTrips == 0 {
+			continue
+		}
+		fo := p.Failover
+		fmt.Fprintf(&b, "shards=%d faults: kills=%d failedOver=%d (warm=%d hot=%d cold=%d) fencedAcks=%d stalls=%d wdTrips=%d degraded=%d recovered=%d mttr=%v postUtil=%.3f\n",
+			p.Cfg.Shards, fo.ShardKills, fo.FlowsFailedOver,
+			fo.WarmFailovers, fo.HotFailovers, fo.ColdFailovers,
+			fo.FencedAcks, fo.Stalls, fo.WatchdogTrips,
+			p.DegradedServed, p.FailoverRecovered, p.MTTR, p.PostFailoverUtility)
 	}
 	return b.String()
 }

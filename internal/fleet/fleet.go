@@ -889,6 +889,35 @@ type Member struct {
 // member never decides or sends again.
 func (m *Member) Retired() bool { return m.retired }
 
+// SetDegraded pins (or releases) the member's decision path to the
+// Guard degradation ladder — compiled table when wired, else cache →
+// last-safe → sleep — without live planning; see planner.Guard.Degraded.
+// A member serving only through a bare cache stripe gains a synchronous
+// zero-budget Guard over that stripe the first time it is degraded;
+// undegraded, such a Guard decides identically to the bare stripe (same
+// PolicyCache.Decide call), so installing it never perturbs a run.
+func (m *Member) SetDegraded(on bool) {
+	g := m.Sender.Guard
+	if g == nil {
+		if !on {
+			return
+		}
+		g = planner.NewGuard(0, m.Sender.Cache)
+		m.Sender.Guard = g
+		m.Sender.Cache = nil
+	}
+	g.Degraded = on
+}
+
+// DegradedServed reports how many of the member's decisions were
+// served while its Guard was degraded (zero when never degraded).
+func (m *Member) DegradedServed() int64 {
+	if g := m.Sender.Guard; g != nil {
+		return g.DegradedServed
+	}
+	return 0
+}
+
 // NewMember returns a standalone member (immediate wake per
 // acknowledgment) sending into out. Fleet members are built by New,
 // which routes acknowledgments through the batching scheduler instead.

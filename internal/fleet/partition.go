@@ -14,10 +14,11 @@ import (
 	"modelcc/internal/utility"
 )
 
-// Partition is one shard's slice of a fleet: the members whose flow IDs
-// are congruent to the partition index modulo the shard count, running
-// on their own discrete-event loop with their own rollout pool and
-// scratch arenas. Partitions never touch the shared bottleneck
+// Partition is one shard's slice of a fleet: a dynamic set of members
+// (initially the flows congruent to the partition index modulo the
+// shard count; failover can re-home whole residue classes onto a
+// survivor) running on their own discrete-event loop with their own
+// rollout pool and scratch arenas. Partitions never touch the shared bottleneck
 // directly — members send into an Outbox the shard coordinator merges
 // in canonical order and replays onto the one authoritative bottleneck
 // loop — and they receive acknowledgments only through ScheduleAck,
@@ -50,9 +51,12 @@ type Partition struct {
 	bcfg        belief.Config
 	pcfg        planner.Config
 
-	// members and flows are indexed by local slot = flow / shards.
-	members []*Member
-	flows   []flowRecord
+	// members and flows key the partition's dynamic residency by flow
+	// ID. The maps are never iterated — every access is a point lookup,
+	// and batch work drains through the canonical flow-sorted dirty
+	// list — so map order can never leak into results.
+	members map[packet.FlowID]*Member
+	flows   map[packet.FlowID]*flowRecord
 
 	dirty, spare []*Member
 	drainArmed   bool
@@ -85,13 +89,15 @@ func (o *Outbox) Reset() { o.Pkts = o.Pkts[:0] }
 // identical to the single-loop fleet's.
 func NewPartition(cfg Config, idx, shards int, caches *planner.CacheStripes) *Partition {
 	p := &Partition{
-		Loop:   sim.New(cfg.Seed),
-		Pool:   rollout.New(cfg.Workers),
-		Out:    &Outbox{},
-		Caches: caches,
-		idx:    idx,
-		shards: shards,
-		cfg:    cfg,
+		Loop:    sim.New(cfg.Seed),
+		Pool:    rollout.New(cfg.Workers),
+		Out:     &Outbox{},
+		Caches:  caches,
+		idx:     idx,
+		shards:  shards,
+		cfg:     cfg,
+		members: make(map[packet.FlowID]*Member),
+		flows:   make(map[packet.FlowID]*flowRecord),
 	}
 	p.drainTimer = sim.NewTimer(p.Loop, p.drain)
 	p.ackTimer = sim.NewTimer(p.Loop, p.deliverAck)
@@ -111,23 +117,26 @@ func NewPartition(cfg Config, idx, shards int, caches *planner.CacheStripes) *Pa
 	return p
 }
 
-// Owns reports whether the flow belongs to this partition.
+// Owns reports whether the flow maps to this partition under the
+// initial modular placement (before any failover re-homing).
 func (p *Partition) Owns(flow packet.FlowID) bool {
 	return int(flow)%p.shards == p.idx
 }
 
-func (p *Partition) slot(flow packet.FlowID) int { return int(flow) / p.shards }
+// rec returns the flow's cross-generation ledger, creating it on first
+// touch.
+func (p *Partition) rec(flow packet.FlowID) *flowRecord {
+	r := p.flows[flow]
+	if r == nil {
+		r = &flowRecord{}
+		p.flows[flow] = r
+	}
+	return r
+}
 
 // MemberAt returns the flow's live member, nil when vacant or foreign.
 func (p *Partition) MemberAt(flow packet.FlowID) *Member {
-	if !p.Owns(flow) {
-		return nil
-	}
-	s := p.slot(flow)
-	if s >= len(p.members) {
-		return nil
-	}
-	return p.members[s]
+	return p.members[flow]
 }
 
 // AttachCold occupies flow with a fresh cold-from-the-prior member
@@ -135,15 +144,23 @@ func (p *Partition) MemberAt(flow packet.FlowID) *Member {
 // readings (the coordinator owns the receiver and drop maps). The
 // member is not started.
 func (p *Partition) AttachCold(flow packet.FlowID, baseDelivered, baseDrops int) *Member {
-	s := p.slot(flow)
-	for s >= len(p.members) {
-		p.members = append(p.members, nil)
-		p.flows = append(p.flows, flowRecord{})
-	}
-	if p.members[s] != nil {
+	return p.attach(flow, p.newSender(flow), baseDelivered, baseDrops)
+}
+
+// AttachSender occupies flow with a caller-built sender — one warm-
+// restored from a lifecycle checkpoint — wiring it into the shared
+// cache/table first, exactly as Fleet.AdmitSender does on the
+// single-loop path. The member is not started.
+func (p *Partition) AttachSender(flow packet.FlowID, s *core.Sender, baseDelivered, baseDrops int) *Member {
+	return p.attach(flow, p.wireSender(s, flow), baseDelivered, baseDrops)
+}
+
+func (p *Partition) attach(flow packet.FlowID, s *core.Sender, baseDelivered, baseDrops int) *Member {
+	if p.members[flow] != nil {
 		panic("fleet: partition flow already occupied")
 	}
-	m := NewMember(p.Loop, p.newSender(flow), flow, p.Out)
+	rec := p.rec(flow)
+	m := NewMember(p.Loop, s, flow, p.Out)
 	m.notify = p.enqueue
 	m.lean = p.cfg.LeanStats
 	m.leanFrom = p.cfg.LeanRateFrom
@@ -151,12 +168,12 @@ func (p *Partition) AttachCold(flow packet.FlowID, baseDelivered, baseDrops int)
 	// delivers cross-shard events in flow order, so local wakes must
 	// drain the same way.
 	m.canonical = true
-	m.Gen = p.flows[s].gens
-	p.flows[s].gens++
+	m.Gen = rec.gens
+	rec.gens++
 	m.AdmittedAt = p.Loop.Now()
 	m.baseDelivered = baseDelivered
 	m.baseDrops = baseDrops
-	p.members[s] = m
+	p.members[flow] = m
 	return m
 }
 
@@ -164,32 +181,76 @@ func (p *Partition) AttachCold(flow packet.FlowID, baseDelivered, baseDrops int)
 // freezing its fenced counters at the supplied shared-bottleneck
 // readings. Returns the retired member, nil when vacant.
 func (p *Partition) RetireMember(flow packet.FlowID, delivered, rawDrops int) *Member {
-	s := p.slot(flow)
-	if !p.Owns(flow) || s >= len(p.members) || p.members[s] == nil {
+	m := p.members[flow]
+	if m == nil {
 		return nil
 	}
-	m := p.members[s]
 	m.retired = true
 	m.timer.Stop()
 	m.acks = m.acks[:0]
 	m.GenDrops = rawDrops - m.baseDrops
 	m.GenDelivered = delivered - m.baseDelivered
-	p.flows[s].injected += m.Injected
-	p.members[s] = nil
+	p.rec(flow).injected += m.Injected
+	delete(p.members, flow)
 	return m
+}
+
+// Ledger is one flow's cross-generation accounting — packets retired
+// generations injected and the generation counter — transferred
+// between partitions when a failover re-homes the flow. It is
+// coordinator-owned bookkeeping, not shard-resident member state, so
+// it survives a shard loss by construction.
+type Ledger struct {
+	// Injected counts packets retired generations injected.
+	Injected int64
+	// Gens is the number of generations the flow has hosted.
+	Gens uint32
+}
+
+// Remove strips the flow's ledger from the partition for transfer to a
+// new home; the flow must have no live member (RetireMember first).
+// ok is false when the partition never touched the flow.
+func (p *Partition) Remove(flow packet.FlowID) (led Ledger, ok bool) {
+	if p.members[flow] != nil {
+		panic("fleet: removing a flow with a live member")
+	}
+	r := p.flows[flow]
+	if r == nil {
+		return Ledger{}, false
+	}
+	delete(p.flows, flow)
+	return Ledger{Injected: r.injected, Gens: r.gens}, true
+}
+
+// Install adopts a flow's ledger transferred from its previous home.
+func (p *Partition) Install(flow packet.FlowID, led Ledger) {
+	if p.flows[flow] != nil || p.members[flow] != nil {
+		panic("fleet: installing over an occupied flow")
+	}
+	p.flows[flow] = &flowRecord{injected: led.Injected, gens: led.Gens}
+}
+
+// BumpDeliveryFence advances the live member's admission-time delivery
+// fence by n: the coordinator calls it when it swallows a fenced
+// acknowledgment (a post-checkpoint in-flight packet of a failed-over
+// predecessor), so the delivery is excluded from the restored
+// generation's Delivered. No-op when the flow is vacant.
+func (p *Partition) BumpDeliveryFence(flow packet.FlowID, n int) {
+	if m := p.members[flow]; m != nil {
+		m.baseDelivered += n
+	}
 }
 
 // InjectedTotal reports packets the flow injected across every
 // generation, live member included — the coordinator's in-flight
 // accounting input.
 func (p *Partition) InjectedTotal(flow packet.FlowID) int64 {
-	s := p.slot(flow)
-	if !p.Owns(flow) || s >= len(p.flows) {
-		return 0
+	var inj int64
+	if r := p.flows[flow]; r != nil {
+		inj = r.injected
 	}
-	inj := p.flows[s].injected
-	if s < len(p.members) && p.members[s] != nil {
-		inj += p.members[s].Injected
+	if m := p.members[flow]; m != nil {
+		inj += m.Injected
 	}
 	return inj
 }
@@ -197,11 +258,10 @@ func (p *Partition) InjectedTotal(flow packet.FlowID) int64 {
 // NextGen reports the generation the next member admitted on the flow
 // will receive.
 func (p *Partition) NextGen(flow packet.FlowID) uint32 {
-	s := p.slot(flow)
-	if !p.Owns(flow) || s >= len(p.flows) {
-		return 0
+	if r := p.flows[flow]; r != nil {
+		return r.gens
 	}
-	return p.flows[s].gens
+	return 0
 }
 
 // BaseDelivered reports the live member's admission-time delivery
@@ -252,7 +312,13 @@ func (p *Partition) NextEventTime() (time.Duration, bool) { return p.Loop.PeekTi
 
 // newSender mirrors Fleet.newSender against the partition's stripe set.
 func (p *Partition) newSender(flow packet.FlowID) *core.Sender {
-	s := core.NewSender(belief.NewExact(p.states, p.bcfg), p.pcfg)
+	return p.wireSender(core.NewSender(belief.NewExact(p.states, p.bcfg), p.pcfg), flow)
+}
+
+// wireSender mirrors Fleet.wireSender: compiled table (as a
+// synchronous Guard rung 0) or the flow's cache stripe, plus the fleet
+// burst cap.
+func (p *Partition) wireSender(s *core.Sender, flow packet.FlowID) *core.Sender {
 	var stripe *planner.PolicyCache
 	if p.Caches != nil {
 		stripe = p.Caches.For(uint32(flow))
@@ -267,6 +333,19 @@ func (p *Partition) newSender(flow packet.FlowID) *core.Sender {
 	s.MaxBurst = 4
 	return s
 }
+
+// PriorStates returns the enumerated prior partition members start
+// from; read-only, identical to the owning fleet's.
+func (p *Partition) PriorStates() []model.State { return p.states }
+
+// MemberBeliefConfig returns the resolved belief configuration
+// partition members are built with (per-shard pool included), so a
+// checkpoint restore reconstructs an identical belief.
+func (p *Partition) MemberBeliefConfig() belief.Config { return p.bcfg }
+
+// MemberPlanConfig returns the resolved planner configuration
+// partition members are built with (per-shard pool included).
+func (p *Partition) MemberPlanConfig() planner.Config { return p.pcfg }
 
 // enqueue/drain are the fleet scheduler verbatim: batch same-instant
 // wakes, drain in canonical flow order.

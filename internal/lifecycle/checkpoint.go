@@ -45,6 +45,7 @@ import (
 	"modelcc/internal/fleet"
 	"modelcc/internal/model"
 	"modelcc/internal/packet"
+	"modelcc/internal/planner"
 	"modelcc/internal/policy"
 	"modelcc/internal/units"
 )
@@ -125,29 +126,44 @@ func Capture(m *fleet.Member, priorHash uint64) (*Checkpoint, error) {
 	return c, nil
 }
 
-// RestoreSender rebuilds a sender from the checkpoint against a fleet's
-// resolved prior and configs. The caller supplies the fleet's prior
+// MemberHost is the restore surface a checkpointed sender is rebuilt
+// against: the prior and the resolved member configs of whatever will
+// host the restored member. Both the single-loop *fleet.Fleet and the
+// sharded *fleet.Partition implement it, so one restore path serves
+// the Supervisor's warm restarts and the shard coordinator's
+// failovers. A checkpoint taken under one host restores bit-identically
+// under any other with the same prior hash — the encoding carries no
+// topology.
+type MemberHost interface {
+	PriorStates() []model.State
+	MemberBeliefConfig() belief.Config
+	MemberPlanConfig() planner.Config
+}
+
+// RestoreSender rebuilds a sender from the checkpoint against a host's
+// resolved prior and configs. The caller supplies the host's prior
 // hash; a mismatch — the checkpoint was captured under a different
 // model or quanta — is a detected error. The sender is not yet wired
-// into the fleet; admit it with Fleet.AdmitSender, then reinstate the
-// Guard's safe action with RestoreGuard.
-func RestoreSender(fl *fleet.Fleet, c *Checkpoint, priorHash uint64) (*core.Sender, error) {
+// into the host; admit it with Fleet.AdmitSender (or
+// Partition.AttachSender), then reinstate the Guard's safe action with
+// RestoreGuard.
+func RestoreSender(host MemberHost, c *Checkpoint, priorHash uint64) (*core.Sender, error) {
 	if c.PriorHash != priorHash {
-		return nil, fmt.Errorf("lifecycle: checkpoint bound to prior %016x, fleet resolves to %016x (model or quanta mismatch)", c.PriorHash, priorHash)
+		return nil, fmt.Errorf("lifecycle: checkpoint bound to prior %016x, host resolves to %016x (model or quanta mismatch)", c.PriorHash, priorHash)
 	}
 	var (
 		b   belief.Belief
 		err error
 	)
 	if c.Belief.Particle {
-		b, err = belief.RestoreParticle(fl.PriorStates(), fl.MemberBeliefConfig(), c.Belief)
+		b, err = belief.RestoreParticle(host.PriorStates(), host.MemberBeliefConfig(), c.Belief)
 	} else {
-		b, err = belief.RestoreExact(fl.PriorStates(), fl.MemberBeliefConfig(), c.Belief)
+		b, err = belief.RestoreExact(host.PriorStates(), host.MemberBeliefConfig(), c.Belief)
 	}
 	if err != nil {
 		return nil, err
 	}
-	s := core.NewSender(b, fl.MemberPlanConfig())
+	s := core.NewSender(b, host.MemberPlanConfig())
 	s.SetNextSeq(c.NextSeq)
 	s.Sent = c.Sent
 	s.Acked = c.Acked
@@ -169,14 +185,22 @@ func RestoreGuard(m *fleet.Member, c *Checkpoint) {
 // PolicyCache's fingerprint quanta (zero quanta when the cache is
 // disabled).
 func FleetPriorHash(fl *fleet.Fleet) uint64 {
+	return PriorHashFor(fl.Cfg, fl.Caches)
+}
+
+// PriorHashFor is FleetPriorHash over a resolved configuration and its
+// shared cache stripes (nil when disabled): the sharded coordinator
+// binds its barrier checkpoints to the exact identity the single-loop
+// fleet would, so checkpoints move freely between the two runtimes.
+func PriorHashFor(cfg fleet.Config, caches *planner.CacheStripes) uint64 {
 	var (
 		tq time.Duration
 		wq float64
 	)
-	if fl.Caches != nil {
-		tq, wq = fl.Caches.TimeQuantum(), fl.Caches.WeightQuantum()
+	if caches != nil {
+		tq, wq = caches.TimeQuantum(), caches.WeightQuantum()
 	}
-	return policy.HashPrior(fl.Cfg.ResolvedPrior(), tq, wq)
+	return policy.HashPrior(cfg.ResolvedPrior(), tq, wq)
 }
 
 // ---- binary encoding ----

@@ -84,6 +84,11 @@ const (
 	EventFail
 	// EventRestart is a supervised restart of a failed/crashed flow.
 	EventRestart
+	// EventShardFault is the loss of a whole (virtual) shard in the
+	// sharded runtime: Flow carries the virtual shard index, and the
+	// per-flow EventCrash/EventRestart pairs of the failover follow it
+	// in the log.
+	EventShardFault
 )
 
 func (k EventKind) String() string {
@@ -98,6 +103,8 @@ func (k EventKind) String() string {
 		return "fail"
 	case EventRestart:
 		return "restart"
+	case EventShardFault:
+		return "shardfault"
 	}
 	return fmt.Sprintf("eventkind(%d)", uint8(k))
 }

@@ -70,6 +70,18 @@ type Guard struct {
 	// run, so the fallback ladder does not probe it a second time).
 	// Live decisions it missed are reported back via RecordMiss.
 	Compiled CompiledPolicy
+	// Degraded, when true, pins Decide to the degradation ladder
+	// without ever live-planning: the compiled table when wired, else
+	// cache → last-safe → sleep. A shard watchdog sets it for members
+	// hosted on a shard that blew its per-window budget (or, in tests,
+	// on an injected-stall schedule) — precomputed actions ride out the
+	// outage, the sequence-based-control shape. Degraded serving does
+	// not advance ConsecutiveOverruns: the planner is not wedged, it
+	// has been administratively bypassed, and a health sweep must not
+	// declare a watchdogged member failed.
+	Degraded bool
+	// DegradedServed counts decisions served while Degraded was set.
+	DegradedServed int64
 
 	// Live counts decisions served by the live planner within budget;
 	// CompiledHits, decisions served by the compiled table;
@@ -121,6 +133,17 @@ func (g *Guard) Decide(sup []belief.Hypothesis, pending []model.Send, now time.D
 	if g.RecordLatency {
 		start := time.Now()
 		defer func() { g.Latencies = append(g.Latencies, time.Since(start).Nanoseconds()) }()
+	}
+	if g.Degraded {
+		g.DegradedServed++
+		if g.Compiled != nil {
+			if d, ok := g.Compiled.Probe(sup, pending, now); ok {
+				g.CompiledHits++
+				g.noteSafe(d, now)
+				return d
+			}
+		}
+		return g.fallback(sup, pending, now, cfg)
 	}
 	// Rung 0: the compiled table answers without planning at all.
 	if g.Compiled != nil {

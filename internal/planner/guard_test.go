@@ -174,6 +174,51 @@ func TestGuardCompiledMissFallsToLiveAndRecords(t *testing.T) {
 	}
 }
 
+// TestGuardDegradedServesWithoutLivePlanning: degraded mode pins
+// Decide to the degradation ladder — compiled table when wired, blind
+// fallback on a miss — and never consults the live planner. Degraded
+// serving must not advance ConsecutiveOverruns: the planner is being
+// administratively bypassed, not missing deadlines, and a health sweep
+// that read overruns here would fail exactly the members the watchdog
+// is protecting.
+func TestGuardDegradedServesWithoutLivePlanning(t *testing.T) {
+	sup := guardSupport()
+	fc := &fakeCompiled{hit: true, delta: 200 * time.Millisecond}
+	g := NewGuard(30*time.Second, nil)
+	g.Compiled = fc
+	g.Degraded = true
+	now := 4 * time.Second
+	d := g.Decide(sup, nil, now, 0, Config{})
+	if d.WakeAt != now+200*time.Millisecond {
+		t.Fatalf("degraded compiled decision not served: %+v", d)
+	}
+	if g.DegradedServed != 1 || g.CompiledHits != 1 || g.Live != 0 {
+		t.Fatalf("counters degraded=%d compiled=%d live=%d, want 1/1/0",
+			g.DegradedServed, g.CompiledHits, g.Live)
+	}
+
+	// Compiled miss with no cache and no remembered action: bottom
+	// rung, still no live planning, overrun counter untouched.
+	fc.hit = false
+	if d = g.Decide(sup, nil, now, 0, Config{}); d.SendNow {
+		t.Fatal("degraded blind fallback must not send")
+	}
+	if g.DegradedServed != 2 || g.Live != 0 || g.SafeFallbacks != 1 {
+		t.Fatalf("counters degraded=%d live=%d safe=%d, want 2/0/1",
+			g.DegradedServed, g.Live, g.SafeFallbacks)
+	}
+	if g.ConsecutiveOverruns != 0 {
+		t.Fatalf("degraded serving advanced ConsecutiveOverruns to %d", g.ConsecutiveOverruns)
+	}
+
+	// Released: the guard plans live again and stops counting.
+	g.Degraded = false
+	g.Decide(sup, nil, now, 0, Config{})
+	if g.Live != 1 || g.DegradedServed != 2 {
+		t.Fatalf("released guard live=%d degraded=%d, want 1/2", g.Live, g.DegradedServed)
+	}
+}
+
 // TestGuardLatencySampling: RecordLatency captures one sample per
 // Decide on the serving path.
 func TestGuardLatencySampling(t *testing.T) {

@@ -18,9 +18,11 @@ import (
 // and the barrier grid are all independent of the shard count, the
 // lifecycle log and replay hash are bit-identical for every K. They
 // are NOT identical to the single-loop Supervisor's (which kills
-// mid-window at exact drawn instants and can restart warm from
-// checkpoints); sharded restarts are always cold, since checkpoint
-// restore is plumbed through the single-loop fleet.
+// mid-window at exact drawn instants); restarts walk the same
+// hot→warm→cold ladder when EnableCheckpoints is armed — warm from
+// the flow's latest barrier checkpoint — and stay cold (hot under a
+// compiled table) otherwise. Checkpoint availability is driven purely
+// by virtual time, so the ladder rung chosen is itself K-invariant.
 
 type pendingKill struct {
 	at   time.Duration
@@ -274,6 +276,11 @@ func (sf *Fleet) depart(flow packet.FlowID) {
 	}
 	fs := sf.churn.flow(int(flow))
 	fs.attempts = 0
+	if sf.ckpt != nil {
+		// A departure is permanent: its checkpoint must never warm a
+		// future unrelated occupant of the recycled flow ID.
+		delete(sf.ckpt.last, flow)
+	}
 	sf.Stats.Departures++
 	sf.Events = append(sf.Events, lifecycle.Event{At: sf.now, Kind: lifecycle.EventDepart, Flow: flow, Gen: m.Gen})
 }
@@ -299,7 +306,12 @@ func (sf *Fleet) scheduleRestart(flow packet.FlowID) {
 
 // tryRestart performs or re-defers one due restart. It returns
 // (againAt, true) when the flow is still draining and the attempt must
-// re-queue.
+// re-queue. The restart walks the lifecycle ladder: warm from the
+// flow's latest barrier checkpoint when checkpointing is armed, else
+// hot when a compiled table serves, else cold — the same rungs the
+// single-loop Supervisor chooses from. No fencing is needed on this
+// path: the drain wait above guarantees nothing of the predecessor is
+// in flight when the successor attaches.
 func (sf *Fleet) tryRestart(flow packet.FlowID) (time.Duration, bool) {
 	c := sf.churn
 	fs := c.flow(int(flow))
@@ -310,14 +322,43 @@ func (sf *Fleet) tryRestart(flow packet.FlowID) (time.Duration, bool) {
 	if sf.InFlight(flow) > 0 {
 		return sf.now + c.sup.DrainPoll, true
 	}
-	gen := sf.owner(flow).NextGen(flow)
-	m := sf.admit(flow, fleet.StaggerOffsetFor(sf.Cfg.Stagger, flow, gen))
+	part := sf.owner(flow)
+	gen := part.NextGen(flow)
+	offset := fleet.StaggerOffsetFor(sf.Cfg.Stagger, flow, gen)
+	kind := lifecycle.RestartCold
+	var m *fleet.Member
+	if sf.ckpt != nil {
+		if ck := sf.ckpt.last[flow]; ck != nil {
+			s, err := lifecycle.RestoreSender(part, ck, sf.priorHash)
+			if err != nil {
+				sf.Stats.CheckpointErrors++
+				delete(sf.ckpt.last, flow)
+			} else {
+				m = sf.admitSender(flow, s, offset)
+				lifecycle.RestoreGuard(m, ck)
+				kind = lifecycle.RestartWarm
+			}
+		}
+	}
+	if m == nil {
+		m = sf.admit(flow, offset)
+		if sf.Cfg.Table != nil {
+			kind = lifecycle.RestartHot
+		}
+	}
 	fs.reserved = false
 	fs.lastReseeds = beliefReseeds(m)
-	sf.Stats.ColdRestarts++
+	switch kind {
+	case lifecycle.RestartWarm:
+		sf.Stats.WarmRestarts++
+	case lifecycle.RestartHot:
+		sf.Stats.HotRestarts++
+	default:
+		sf.Stats.ColdRestarts++
+	}
 	sf.Events = append(sf.Events, lifecycle.Event{
 		At: sf.now, Kind: lifecycle.EventRestart, Flow: flow, Gen: m.Gen,
-		Restart: lifecycle.RestartCold, Attempt: fs.attempts,
+		Restart: kind, Attempt: fs.attempts,
 	})
 	return 0, false
 }

@@ -1,0 +1,616 @@
+package shard
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"modelcc/internal/chaos"
+	"modelcc/internal/fleet"
+	"modelcc/internal/lifecycle"
+	"modelcc/internal/packet"
+	"modelcc/internal/planner"
+)
+
+// Shard fault tolerance: barrier checkpoints, deterministic failover,
+// and watchdog degradation.
+//
+// # Virtual shards
+//
+// The fault unit is the VIRTUAL shard: one stripe residue class, the
+// flows congruent to v modulo planner.DefaultCacheStripes. A virtual
+// shard is the finest placement granularity the runtime supports — the
+// home table maps each one to a partition, and at K =
+// DefaultCacheStripes virtual and physical shards coincide. Faults are
+// drawn over virtual shards rather than partitions because the member
+// set of partition s depends on K, while the member set of residue
+// class v does not: a kill schedule over virtual shards touches the
+// same flows at the same barriers for every shard count, which is what
+// keeps the replay hash bit-identical for shards ∈ {2, 4, 8} under a
+// fixed seed. Physical placement is results-neutral (every cross-shard
+// interaction funnels through the canonical merge and the peek), so
+// re-homing a class to a different survivor at different K cannot
+// perturb results either.
+//
+// # Failover
+//
+// When virtual shard v is killed at a barrier, the shard memory
+// hosting its members is gone; what survives is coordinator-owned
+// state: the bottleneck (deliveries, drops), the cross-generation flow
+// ledgers, and the barrier checkpoint store. The failover protocol,
+// per flow of the class in canonical ascending order:
+//
+//  1. evict the member and transfer the flow's ledger to the new home
+//     (the next partition in ring order; the home-table rewrite also
+//     migrates the class's policy-cache stripe, which only its hosting
+//     partition may touch);
+//  2. restore the member through the restart ladder — warm from its
+//     latest barrier checkpoint, hot from the compiled table, cold
+//     from the prior — as a NEW generation with freshly fenced
+//     counters;
+//  3. fence the dead generation's post-checkpoint in-flight sends: the
+//     restored sender's NextSeq rewinds to the checkpoint's, so those
+//     sequence numbers will be reused, and the stale deliveries must
+//     never reach the restored belief. The coordinator swallows any
+//     delivery with SentAt in (checkpointAt, killBarrier] at the peek
+//     (the whole window for a cold/hot restore, which resumes no
+//     pending state). Drops can never need fencing: a drop happens at
+//     the injection instant, always before the kill barrier, so it is
+//     excluded by the restored generation's base fence.
+//
+// # Watchdog
+//
+// Stalls degrade instead of killing: an overrunning shard's members
+// serve decisions from the Guard degradation ladder (compiled table →
+// cache → last-safe action) without live planning, the sequence-based
+// control shape — precomputed actions ride out the outage. The
+// deterministic path draws stall windows from chaos.Sub("shardfault")
+// over virtual shards; the production path (EnableWatchdog) measures
+// each partition's wall-clock time per coupling window and degrades an
+// overrunning partition's members for the following window. Both paths
+// share Member.SetDegraded and the DegradedServed counters; only the
+// trigger differs (drawn virtual time vs measured wall time), so the
+// deterministic tests exercise exactly the serving path production
+// degrades through.
+
+// VirtualShards is the number of virtual shards (stripe residue
+// classes) — the granularity of fault schedules and checkpoint sweeps.
+const VirtualShards = planner.DefaultCacheStripes
+
+// CheckpointConfig arms barrier-time member checkpointing.
+type CheckpointConfig struct {
+	// Every is the period over which every resident member receives
+	// one barrier checkpoint (default 4 s). The sweep is incremental —
+	// one virtual shard per due tick, round-robin — so checkpoint work
+	// spreads across barriers instead of bunching into one.
+	Every time.Duration
+	// Dir, when non-empty, mirrors each checkpoint to
+	// Dir/flow-<id>.ckpt with the atomic tmp+rename writer. The
+	// in-memory store is authoritative for failover either way; the
+	// mirror is for cross-process restarts.
+	Dir string
+}
+
+// FaultConfig arms the deterministic shard-kill/stall schedule.
+type FaultConfig struct {
+	// Epoch is the draw period (default 10 s). Each epoch draws one
+	// uniform per virtual shard, in index order, classifying it as
+	// kill, stall, or healthy — a pure function of the chaos seed.
+	Epoch time.Duration
+	// KillProb is a virtual shard's per-epoch probability of being
+	// killed at a drawn barrier inside the epoch.
+	KillProb float64
+	// StallProb is a virtual shard's per-epoch probability of a
+	// drawn-length stall, served degraded through the Guard ladder.
+	StallProb float64
+	// MaxStall bounds a drawn stall's length (default 2 s; stalls are
+	// always at least one coupling window).
+	MaxStall time.Duration
+}
+
+// WatchdogConfig arms the production-path wall-clock watchdog.
+type WatchdogConfig struct {
+	// WindowBudget is the wall-clock budget one shard may spend
+	// running one coupling window; a shard that overruns it has its
+	// members served degraded for the following window. Zero disables.
+	// Wall-clock verdicts are inherently nondeterministic — leave this
+	// off in replay-hash experiments and drive FaultConfig.StallProb
+	// instead, which degrades through the identical serving path.
+	WindowBudget time.Duration
+}
+
+// FailoverStats aggregates shard-fault outcomes.
+type FailoverStats struct {
+	// ShardKills counts virtual-shard kills executed.
+	ShardKills int
+	// FlowsFailedOver counts members evicted and restored by kills.
+	FlowsFailedOver int
+	// WarmFailovers/HotFailovers/ColdFailovers split FlowsFailedOver
+	// by the restart-ladder rung the restore landed on.
+	WarmFailovers, HotFailovers, ColdFailovers int
+	// FencedAcks counts deliveries swallowed by failover fences.
+	FencedAcks int64
+	// Stalls counts drawn stall windows entered.
+	Stalls int
+	// WatchdogTrips counts wall-clock budget overruns that degraded a
+	// partition (zero without EnableWatchdog).
+	WatchdogTrips int64
+}
+
+// RestoredMember records one fault-restored member for recovery
+// reductions (virtual-time MTTR, post-failover utility).
+type RestoredMember struct {
+	// Flow and Gen identify the restored generation.
+	Flow packet.FlowID
+	Gen  uint32
+	// At is the failover barrier.
+	At time.Duration
+	// RecoveredAt is the virtual instant the restored generation
+	// absorbed its first acknowledged delivery — the recovery point for
+	// MTTR reductions. Zero means it never recovered (retired or killed
+	// again first, or the run ended).
+	RecoveredAt time.Duration
+	// Kind is the restart-ladder rung the restore landed on.
+	Kind lifecycle.RestartKind
+	// M is the restored member (readable after Run).
+	M *fleet.Member
+}
+
+// fenceWin is one swallowed SentAt window: from < SentAt <= to.
+type fenceWin struct{ from, to time.Duration }
+
+type ckptState struct {
+	cfg      CheckpointConfig
+	interval time.Duration
+	next     time.Duration
+	round    int
+	last     map[packet.FlowID]*lifecycle.Checkpoint
+}
+
+type groupKill struct {
+	at    time.Duration
+	group int
+}
+
+type groupStall struct {
+	at    time.Duration
+	dur   time.Duration
+	group int
+}
+
+type faultState struct {
+	cfg       FaultConfig
+	src       *chaos.Source
+	nextEpoch time.Duration
+	kills     []groupKill
+	stallq    []groupStall
+	stalled   [VirtualShards]bool
+	until     [VirtualShards]time.Duration
+}
+
+type watchdogState struct {
+	cfg      WatchdogConfig
+	wall     []time.Duration // last window's wall time per partition
+	over     []bool          // last window's verdict per partition
+	degraded []bool          // currently-applied degradation per partition
+}
+
+// EnableCheckpoints arms barrier-time checkpointing. Call before Run.
+// With checkpoints armed, both the churn lifecycle's restarts and
+// fault failovers gain the full hot→warm→cold ladder; without them,
+// sharded restarts stay cold (hot when a compiled table is wired).
+func (sf *Fleet) EnableCheckpoints(cc CheckpointConfig) {
+	if cc.Every <= 0 {
+		cc.Every = 4 * time.Second
+	}
+	interval := cc.Every / VirtualShards
+	if interval < sf.Delta {
+		interval = sf.Delta
+	}
+	sf.ckpt = &ckptState{
+		cfg:      cc,
+		interval: interval,
+		next:     interval,
+		last:     make(map[packet.FlowID]*lifecycle.Checkpoint),
+	}
+	sf.priorHash = lifecycle.PriorHashFor(sf.Cfg, sf.Caches)
+}
+
+// EnableFaults arms the deterministic shard-kill/stall schedule,
+// drawn from chaos.Sub("shardfault"). Call before Run.
+func (sf *Fleet) EnableFaults(fc FaultConfig, ch chaos.Config) {
+	if fc.Epoch <= 0 {
+		fc.Epoch = 10 * time.Second
+	}
+	if fc.MaxStall <= 0 {
+		fc.MaxStall = 2 * time.Second
+	}
+	sf.fault = &faultState{
+		cfg:       fc,
+		src:       ch.Sub("shardfault").Source(),
+		nextEpoch: fc.Epoch,
+	}
+}
+
+// EnableWatchdog arms the wall-clock per-window budget. Call before
+// Run. See WatchdogConfig for the determinism caveat.
+func (sf *Fleet) EnableWatchdog(wc WatchdogConfig) {
+	sf.wd = &watchdogState{
+		cfg:      wc,
+		wall:     make([]time.Duration, sf.K),
+		over:     make([]bool, sf.K),
+		degraded: make([]bool, sf.K),
+	}
+}
+
+// LatestCheckpoint returns the flow's most recent barrier checkpoint,
+// nil when none exists (or checkpointing is disabled).
+func (sf *Fleet) LatestCheckpoint(flow packet.FlowID) *lifecycle.Checkpoint {
+	if sf.ckpt == nil {
+		return nil
+	}
+	return sf.ckpt.last[flow]
+}
+
+// PriorHash reports the model identity checkpoints are bound to (zero
+// until EnableCheckpoints).
+func (sf *Fleet) PriorHash() uint64 { return sf.priorHash }
+
+// DegradedServed totals decisions served while degraded across every
+// member generation, retired included.
+func (sf *Fleet) DegradedServed() int64 {
+	total := sf.degradedRetired
+	for i := 0; i < sf.slots; i++ {
+		if m := sf.MemberAt(packet.FlowID(i)); m != nil {
+			total += m.DegradedServed()
+		}
+	}
+	return total
+}
+
+func (c *ckptState) nextDue() (time.Duration, bool) { return c.next, true }
+
+func (f *faultState) nextDue() (time.Duration, bool) {
+	best := f.nextEpoch
+	for _, k := range f.kills {
+		if k.at < best {
+			best = k.at
+		}
+	}
+	for _, s := range f.stallq {
+		if s.at < best {
+			best = s.at
+		}
+	}
+	for v := 0; v < VirtualShards; v++ {
+		if f.stalled[v] && f.until[v] < best {
+			best = f.until[v]
+		}
+	}
+	return best, true
+}
+
+// checkpointSweep captures one virtual shard's resident members per
+// due tick (round-robin), binding each checkpoint to the fleet prior
+// hash and storing it in the coordinator-owned store (plus the
+// directory mirror when configured).
+func (sf *Fleet) checkpointSweep() {
+	c := sf.ckpt
+	b := sf.now
+	for b >= c.next {
+		v := c.round % VirtualShards
+		c.round++
+		c.next += c.interval
+		for i := v; i < sf.slots; i += VirtualShards {
+			flow := packet.FlowID(i)
+			m := sf.MemberAt(flow)
+			if m == nil || m.Retired() {
+				continue
+			}
+			ck, err := lifecycle.Capture(m, sf.priorHash)
+			if err != nil {
+				sf.Stats.CheckpointErrors++
+				continue
+			}
+			c.last[flow] = ck
+			sf.Stats.Checkpoints++
+			if c.cfg.Dir != "" {
+				path := filepath.Join(c.cfg.Dir, fmt.Sprintf("flow-%d.ckpt", i))
+				if err := ck.WriteFile(path); err != nil {
+					sf.Stats.CheckpointErrors++
+				}
+			}
+		}
+	}
+}
+
+// faultBarrier processes the fault schedule at barrier sf.now: epoch
+// draws, stall transitions, then kills — each in a fixed deterministic
+// order.
+func (sf *Fleet) faultBarrier() {
+	f := sf.fault
+	b := sf.now
+
+	// Epoch draws: one classifying uniform per virtual shard in index
+	// order (then the instant/duration draws its outcome needs), so
+	// the schedule is a pure function of the chaos seed.
+	for b >= f.nextEpoch {
+		for v := 0; v < VirtualShards; v++ {
+			u := f.src.Float64()
+			switch {
+			case u < f.cfg.KillProb:
+				frac := f.src.Float64()
+				at := f.nextEpoch + time.Duration(frac*float64(f.cfg.Epoch))
+				f.kills = append(f.kills, groupKill{at: at, group: v})
+			case u < f.cfg.KillProb+f.cfg.StallProb:
+				fa := f.src.Float64()
+				fd := f.src.Float64()
+				at := f.nextEpoch + time.Duration(fa*float64(f.cfg.Epoch))
+				dur := time.Duration(fd * float64(f.cfg.MaxStall))
+				if dur < sf.Delta {
+					dur = sf.Delta
+				}
+				f.stallq = append(f.stallq, groupStall{at: at, dur: dur, group: v})
+			}
+		}
+		f.nextEpoch += f.cfg.Epoch
+	}
+
+	// Stall ends first (a stall expiring this barrier releases its
+	// members before any new degradation is applied).
+	for v := 0; v < VirtualShards; v++ {
+		if f.stalled[v] && b >= f.until[v] {
+			f.stalled[v] = false
+			sf.setGroupDegraded(v, false)
+		}
+	}
+
+	// Due stall starts, in (at, group) order.
+	if len(f.stallq) > 0 {
+		sort.Slice(f.stallq, func(i, j int) bool {
+			if f.stallq[i].at != f.stallq[j].at {
+				return f.stallq[i].at < f.stallq[j].at
+			}
+			return f.stallq[i].group < f.stallq[j].group
+		})
+		rest := f.stallq[:0]
+		for _, s := range f.stallq {
+			if s.at > b {
+				rest = append(rest, s)
+				continue
+			}
+			if end := s.at + s.dur; end > f.until[s.group] {
+				f.until[s.group] = end
+			}
+			if !f.stalled[s.group] {
+				f.stalled[s.group] = true
+				sf.Failover.Stalls++
+			}
+		}
+		f.stallq = rest
+	}
+
+	// Due kills, in (at, group) order; each kill is a whole-class
+	// failover.
+	if len(f.kills) > 0 {
+		sort.Slice(f.kills, func(i, j int) bool {
+			if f.kills[i].at != f.kills[j].at {
+				return f.kills[i].at < f.kills[j].at
+			}
+			return f.kills[i].group < f.kills[j].group
+		})
+		rest := f.kills[:0]
+		for _, k := range f.kills {
+			if k.at > b {
+				rest = append(rest, k)
+				continue
+			}
+			sf.failoverGroup(k.group)
+		}
+		f.kills = rest
+	}
+
+	// Re-assert degradation on stalled classes last, so members
+	// restored (or churn-admitted) into a stalled class this barrier
+	// serve degraded too.
+	for v := 0; v < VirtualShards; v++ {
+		if f.stalled[v] {
+			sf.setGroupDegraded(v, true)
+		}
+	}
+}
+
+// setGroupDegraded flips degraded serving for every live member of the
+// virtual shard, in ascending flow order.
+func (sf *Fleet) setGroupDegraded(v int, on bool) {
+	for i := v; i < sf.slots; i += VirtualShards {
+		if m := sf.MemberAt(packet.FlowID(i)); m != nil && !m.Retired() {
+			m.SetDegraded(on)
+		}
+	}
+}
+
+// failoverGroup executes the loss of virtual shard v at the current
+// barrier: re-home the class (and with it its policy-cache stripe),
+// then evict and ladder-restore each resident flow in canonical order.
+func (sf *Fleet) failoverGroup(v int) {
+	b := sf.now
+	dead := sf.Parts[sf.home[v]]
+	sf.home[v] = (sf.home[v] + 1) % sf.K
+	next := sf.Parts[sf.home[v]]
+
+	sf.Failover.ShardKills++
+	sf.Events = append(sf.Events, lifecycle.Event{At: b, Kind: lifecycle.EventShardFault, Flow: packet.FlowID(v)})
+
+	for i := v; i < sf.slots; i += VirtualShards {
+		flow := packet.FlowID(i)
+		delivered := sf.Recv.Received[flow]
+		drops := sf.rawDrops(flow)
+		m := dead.RetireMember(flow, delivered, drops)
+		if m != nil {
+			sf.degradedRetired += m.DegradedServed()
+			delete(sf.recovering, flow)
+		}
+		if led, ok := dead.Remove(flow); ok {
+			// At K=1 the sole partition is its own successor; the
+			// remove/install pair is then a reinstallation in place.
+			next.Install(flow, led)
+		}
+		if m == nil {
+			// Vacant (draining or reserved for a churn restart): only
+			// the ledger moves; a later restart lands on the new home
+			// through the rewritten table.
+			continue
+		}
+		sf.Failover.FlowsFailedOver++
+		sf.Events = append(sf.Events, lifecycle.Event{At: b, Kind: lifecycle.EventCrash, Flow: flow, Gen: m.Gen})
+		sf.restoreFlow(flow, delivered, drops)
+	}
+}
+
+// restoreFlow ladder-restores a failed-over flow at the current
+// barrier: warm from its latest barrier checkpoint, hot from the
+// compiled table, cold from the prior — always a new generation with
+// freshly fenced counters, never merged accounting.
+func (sf *Fleet) restoreFlow(flow packet.FlowID, delivered, drops int) {
+	b := sf.now
+	part := sf.owner(flow)
+	kind := lifecycle.RestartCold
+	fenceFrom := time.Duration(-1)
+	var m *fleet.Member
+	if sf.ckpt != nil {
+		if ck := sf.ckpt.last[flow]; ck != nil {
+			s, err := lifecycle.RestoreSender(part, ck, sf.priorHash)
+			if err != nil {
+				sf.Stats.CheckpointErrors++
+				delete(sf.ckpt.last, flow)
+			} else {
+				m = part.AttachSender(flow, s, delivered, drops)
+				lifecycle.RestoreGuard(m, ck)
+				kind = lifecycle.RestartWarm
+				fenceFrom = ck.At
+			}
+		}
+	}
+	if m == nil {
+		m = part.AttachCold(flow, delivered, drops)
+		if sf.Cfg.Table != nil {
+			kind = lifecycle.RestartHot
+		}
+	}
+	// Resume at the first representable instant after the barrier —
+	// failover optimizes time-to-recover, not stagger; the offset is
+	// clamped strictly positive like every barrier admission.
+	m.Start(time.Nanosecond)
+	sf.addFence(flow, fenceFrom, b)
+	switch kind {
+	case lifecycle.RestartWarm:
+		sf.Stats.WarmRestarts++
+		sf.Failover.WarmFailovers++
+	case lifecycle.RestartHot:
+		sf.Stats.HotRestarts++
+		sf.Failover.HotFailovers++
+	default:
+		sf.Stats.ColdRestarts++
+		sf.Failover.ColdFailovers++
+	}
+	sf.Events = append(sf.Events, lifecycle.Event{
+		At: b, Kind: lifecycle.EventRestart, Flow: flow, Gen: m.Gen, Restart: kind,
+	})
+	sf.Records = append(sf.Records, RestoredMember{Flow: flow, Gen: m.Gen, At: b, Kind: kind, M: m})
+	if sf.recovering == nil {
+		sf.recovering = make(map[packet.FlowID]int)
+	}
+	sf.recovering[flow] = len(sf.Records) - 1
+	if sf.churn != nil {
+		// Reset the health baseline so the sweep doesn't blame the
+		// restored member for its predecessor's reseeds.
+		fs := sf.churn.flow(int(flow))
+		fs.lastReseeds = beliefReseeds(m)
+	}
+}
+
+// addFence records a swallowed SentAt window (from, to] for the flow;
+// an empty window (warm restore from a same-barrier checkpoint) is
+// skipped.
+func (sf *Fleet) addFence(flow packet.FlowID, from, to time.Duration) {
+	if from >= to {
+		return
+	}
+	if sf.fences == nil {
+		sf.fences = make(map[packet.FlowID][]fenceWin)
+	}
+	sf.fences[flow] = append(sf.fences[flow], fenceWin{from: from, to: to})
+}
+
+// fenced reports whether a delivery for the flow sent at sentAt falls
+// inside a failover fence.
+func (sf *Fleet) fenced(flow packet.FlowID, sentAt time.Duration) bool {
+	if sf.fences == nil {
+		return false
+	}
+	for _, w := range sf.fences[flow] {
+		if sentAt > w.from && sentAt <= w.to {
+			return true
+		}
+	}
+	return false
+}
+
+// timedRun runs partition i to the window end, timing it when the
+// wall-clock watchdog is armed. Each goroutine writes only its own
+// wall slot.
+func (sf *Fleet) timedRun(i int, end time.Duration) {
+	if sf.wd == nil || sf.wd.cfg.WindowBudget <= 0 {
+		sf.Parts[i].RunTo(end)
+		return
+	}
+	start := time.Now()
+	sf.Parts[i].RunTo(end)
+	sf.wd.wall[i] = time.Since(start)
+}
+
+// applyWatchdog applies last window's wall-clock verdicts before the
+// next window runs: an overrunning partition's members are degraded,
+// a recovered partition's are released.
+func (sf *Fleet) applyWatchdog() {
+	w := sf.wd
+	if w.cfg.WindowBudget <= 0 {
+		return
+	}
+	for i := range sf.Parts {
+		if w.over[i] == w.degraded[i] {
+			continue
+		}
+		w.degraded[i] = w.over[i]
+		if w.over[i] {
+			sf.Failover.WatchdogTrips++
+		}
+		sf.setPartitionDegraded(i, w.over[i])
+	}
+}
+
+// judgeWatchdog records which partitions blew the window budget.
+func (sf *Fleet) judgeWatchdog() {
+	w := sf.wd
+	if w.cfg.WindowBudget <= 0 {
+		return
+	}
+	for i := range sf.Parts {
+		w.over[i] = w.wall[i] > w.cfg.WindowBudget
+	}
+}
+
+// setPartitionDegraded flips degraded serving for every live member
+// currently homed on partition i, in ascending flow order.
+func (sf *Fleet) setPartitionDegraded(i int, on bool) {
+	for f := 0; f < sf.slots; f++ {
+		if sf.home[f%VirtualShards] != i {
+			continue
+		}
+		if m := sf.Parts[i].MemberAt(packet.FlowID(f)); m != nil && !m.Retired() {
+			m.SetDegraded(on)
+		}
+	}
+}

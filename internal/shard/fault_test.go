@@ -1,0 +1,227 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"modelcc/internal/belief"
+	"modelcc/internal/chaos"
+	"modelcc/internal/fleet"
+	"modelcc/internal/lifecycle"
+	"modelcc/internal/packet"
+)
+
+// faultFleet builds a sharded fleet with the deterministic kill/stall
+// schedule armed, and barrier checkpoints when ckpt is set (warm
+// failovers; without them every failover is cold).
+func faultFleet(t *testing.T, n, k int, seed int64, ckpt bool) *Fleet {
+	t.Helper()
+	sf := New(Config{
+		Fleet:  fleet.Config{N: n, Seed: seed, Workers: 1, BeliefCfg: belief.Config{Recover: true}},
+		Shards: k,
+	})
+	if sf.K != k {
+		t.Fatalf("requested %d shards, got %d", k, sf.K)
+	}
+	if ckpt {
+		sf.EnableCheckpoints(CheckpointConfig{Every: 2 * time.Second})
+	}
+	sf.EnableFaults(FaultConfig{
+		Epoch: 5 * time.Second, KillProb: 0.3, StallProb: 0.25, MaxStall: time.Second,
+	}, chaos.Config{Seed: seed})
+	return sf
+}
+
+// checkFaultRun asserts the fault machinery was actually exercised and
+// that failover never merged generations' accounting: for every live
+// member, the fenced Delivered count equals the acknowledgments the
+// member itself absorbed (Delay.N) — a predecessor's in-flight
+// deliveries leaking past a fence would break the equality.
+func checkFaultRun(t *testing.T, sf *Fleet, k int) {
+	t.Helper()
+	fo := sf.Failover
+	if fo.ShardKills == 0 || fo.FlowsFailedOver == 0 {
+		t.Fatalf("shards=%d: fault schedule not exercising (kills=%d flowsFailedOver=%d)",
+			k, fo.ShardKills, fo.FlowsFailedOver)
+	}
+	if fo.Stalls == 0 {
+		t.Errorf("shards=%d: no stalls entered", k)
+	}
+	if sf.DegradedServed() == 0 {
+		t.Errorf("shards=%d: no decisions served degraded during stalls", k)
+	}
+	if len(sf.Records) != fo.FlowsFailedOver {
+		t.Errorf("shards=%d: %d restore records for %d failovers", k, len(sf.Records), fo.FlowsFailedOver)
+	}
+	for _, r := range sf.Records {
+		// Zero is legal (re-killed, churned away, starved, or the run
+		// ended); a nonzero recovery can only happen after the failover.
+		if r.RecoveredAt != 0 && r.RecoveredAt <= r.At {
+			t.Errorf("shards=%d: record %d/%d recovered at %v, before its failover at %v",
+				k, r.Flow, r.Gen, r.RecoveredAt, r.At)
+		}
+	}
+	for i := 0; i < sf.Slots(); i++ {
+		flow := packet.FlowID(i)
+		m := sf.MemberAt(flow)
+		if m == nil {
+			continue
+		}
+		if d := sf.Delivered(flow); int64(d) != m.Delay.N {
+			t.Errorf("shards=%d flow %d: fenced Delivered=%d but member absorbed %d acks — generations merged",
+				k, i, d, m.Delay.N)
+		}
+		if sf.FlowDrops(flow) < 0 {
+			t.Errorf("shards=%d flow %d: negative fenced drops %d", k, i, sf.FlowDrops(flow))
+		}
+	}
+}
+
+// TestFaultHashInvariantAcrossShards: with shard kills and stalls
+// injected from a fixed seed, the replay hash — and every failover
+// counter — is bit-identical for shards ∈ {1, 2, 4, 8}.
+func TestFaultHashInvariantAcrossShards(t *testing.T) {
+	n, seed, dur := 16, int64(23), 20*time.Second
+	ref := faultFleet(t, n, 1, seed, true)
+	ref.Run(dur)
+	checkFaultRun(t, ref, 1)
+	if ref.Failover.WarmFailovers == 0 {
+		t.Errorf("no warm failovers despite armed checkpoints (%+v)", ref.Failover)
+	}
+	// Warm restores resume the dead generation's ack-clocked state, so
+	// at least some must absorb deliveries again even under persistent
+	// congestion (where a cold restart, with no ack clock, starves).
+	recovered := 0
+	for _, r := range ref.Records {
+		if r.RecoveredAt > r.At {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Error("no warm-restored generation ever absorbed a delivery")
+	}
+	want := ref.ReplayHash()
+	for _, k := range []int{2, 4, 8} {
+		sf := faultFleet(t, n, k, seed, true)
+		sf.Run(dur)
+		checkFaultRun(t, sf, k)
+		if got := sf.ReplayHash(); got != want {
+			t.Errorf("shards=%d fault hash %016x, want %016x (shards=1)", k, got, want)
+		}
+		if sf.Failover != ref.Failover {
+			t.Errorf("shards=%d failover stats %+v, want %+v (shards=1)", k, sf.Failover, ref.Failover)
+		}
+		if sf.DegradedServed() != ref.DegradedServed() {
+			t.Errorf("shards=%d degraded served %d, want %d (shards=1)",
+				k, sf.DegradedServed(), ref.DegradedServed())
+		}
+		for i := range sf.Records {
+			a, b := sf.Records[i], ref.Records[i]
+			if a.Flow != b.Flow || a.Gen != b.Gen || a.At != b.At ||
+				a.RecoveredAt != b.RecoveredAt || a.Kind != b.Kind {
+				t.Errorf("shards=%d restore record %d = %+v, want %+v (shards=1)", k, i, a, b)
+				break
+			}
+		}
+	}
+}
+
+// TestColdFailoverFencesInFlight: without checkpoints every failover
+// is cold and its fence covers the dead generation's whole lifetime,
+// so any packet in flight at the kill barrier must be swallowed at the
+// peek instead of reaching the fresh member — and the swallow must
+// keep the fenced accounting exact. Fence behavior is part of the
+// replay, so the hash invariance is asserted here too.
+func TestColdFailoverFencesInFlight(t *testing.T) {
+	n, seed, dur := 16, int64(23), 20*time.Second
+	ref := faultFleet(t, n, 1, seed, false)
+	ref.Run(dur)
+	checkFaultRun(t, ref, 1)
+	if ref.Failover.ColdFailovers != ref.Failover.FlowsFailedOver {
+		t.Errorf("checkpointless failovers not all cold: %+v", ref.Failover)
+	}
+	if ref.Failover.FencedAcks == 0 {
+		t.Error("no deliveries fenced — killed generations' in-flight sends not exercised")
+	}
+	want := ref.ReplayHash()
+	for _, k := range []int{2, 4} {
+		sf := faultFleet(t, n, k, seed, false)
+		sf.Run(dur)
+		if got := sf.ReplayHash(); got != want {
+			t.Errorf("shards=%d cold-failover hash %016x, want %016x (shards=1)", k, got, want)
+		}
+		if sf.Failover != ref.Failover {
+			t.Errorf("shards=%d failover stats %+v, want %+v (shards=1)", k, sf.Failover, ref.Failover)
+		}
+	}
+}
+
+// TestFaultWithChurnHashInvariant layers all three lifecycle subsystems
+// — churn, checkpoints, and shard faults — and asserts the composition
+// stays bit-identical across shard counts. With checkpoints armed the
+// churn path's restarts walk the warm rung too (not only failovers), so
+// warm restarts must outnumber warm failovers.
+func TestFaultWithChurnHashInvariant(t *testing.T) {
+	n, seed, dur := 16, int64(99), 30*time.Second
+	run := func(k int) *Fleet {
+		sf := faultFleet(t, n, k, seed, true)
+		sf.EnableChurn(lifecycle.ChurnConfig{
+			DepartProb: 0.04, CrashProb: 0.06, ArriveProb: 0.5,
+			MinLive: n / 4,
+		}, lifecycle.SupervisorConfig{}, chaos.Config{Seed: seed})
+		sf.Run(dur)
+		return sf
+	}
+	ref := run(1)
+	if ref.Stats.Crashes == 0 || ref.Failover.ShardKills == 0 {
+		t.Fatalf("composition not exercising: crashes=%d shardKills=%d",
+			ref.Stats.Crashes, ref.Failover.ShardKills)
+	}
+	if ref.Stats.WarmRestarts <= ref.Failover.WarmFailovers {
+		t.Errorf("churn path produced no warm restarts: total warm=%d, failover warm=%d",
+			ref.Stats.WarmRestarts, ref.Failover.WarmFailovers)
+	}
+	want := ref.ReplayHash()
+	for _, k := range []int{2, 4} {
+		sf := run(k)
+		if got := sf.ReplayHash(); got != want {
+			t.Errorf("shards=%d churn+fault hash %016x, want %016x (shards=1)", k, got, want)
+		}
+		if sf.Failover != ref.Failover {
+			t.Errorf("shards=%d failover stats %+v, want %+v (shards=1)", k, sf.Failover, ref.Failover)
+		}
+	}
+}
+
+// TestWatchdogDegradesOverrunningShard: a wall-clock budget no real
+// window can meet trips on every shard, and the affected members serve
+// their decisions through the degradation ladder.
+func TestWatchdogDegradesOverrunningShard(t *testing.T) {
+	sf := New(Config{Fleet: fleet.Config{N: 8, Seed: 11, Workers: 1}, Shards: 2})
+	sf.EnableWatchdog(WatchdogConfig{WindowBudget: time.Nanosecond})
+	sf.Run(4 * time.Second)
+	if sf.Failover.WatchdogTrips == 0 {
+		t.Fatal("1ns window budget never tripped the watchdog")
+	}
+	if sf.DegradedServed() == 0 {
+		t.Fatal("watchdogged members served no degraded decisions")
+	}
+}
+
+// TestWatchdogQuiescentIsResultNeutral: arming the watchdog with a
+// budget that never trips must not perturb results — the timing
+// instrumentation is observation only.
+func TestWatchdogQuiescentIsResultNeutral(t *testing.T) {
+	cfg := fleet.Config{N: 8, Seed: 5, Workers: 1}
+	plain := New(Config{Fleet: cfg, Shards: 2})
+	plain.Run(10 * time.Second)
+	wd := New(Config{Fleet: cfg, Shards: 2})
+	wd.EnableWatchdog(WatchdogConfig{WindowBudget: time.Hour})
+	wd.Run(10 * time.Second)
+	if wd.Failover.WatchdogTrips != 0 {
+		t.Fatalf("1h budget tripped %d times", wd.Failover.WatchdogTrips)
+	}
+	if got, want := wd.Digest(), plain.Digest(); got != want {
+		t.Fatalf("quiescent watchdog digest %016x, want %016x (plain)", got, want)
+	}
+}

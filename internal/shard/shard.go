@@ -75,8 +75,12 @@
 // time snapped up to the Δ grid), in flow order, so the event log and
 // replay hash are identical for every shard count — though not to the
 // single-loop Supervisor's mid-window schedule, which is a different
-// (equally deterministic) protocol. Sharded restarts are always cold:
-// checkpoint restore needs the single-loop fleet plumbing.
+// (equally deterministic) protocol. With EnableCheckpoints armed,
+// restarts walk the full hot→warm→cold ladder from barrier-time
+// checkpoints; the coordinator additionally survives the loss or
+// stall of a whole shard (EnableFaults, EnableWatchdog) — see fault.go
+// for the virtual-shard failover protocol and the degradation
+// watchdog.
 package shard
 
 import (
@@ -89,6 +93,7 @@ import (
 	"time"
 
 	"modelcc/internal/belief"
+	"modelcc/internal/core"
 	"modelcc/internal/elements"
 	"modelcc/internal/fleet"
 	"modelcc/internal/lifecycle"
@@ -149,17 +154,46 @@ type Fleet struct {
 	// OrphanAcks counts deliveries for flows with no live member.
 	OrphanAcks int64
 	// Events is the barrier-aligned lifecycle log (empty without
-	// churn).
+	// churn or faults).
 	Events []lifecycle.Event
-	// Stats counts lifecycle activity (zero without churn).
+	// Stats counts lifecycle activity (zero without churn or faults).
 	Stats lifecycle.Stats
+	// Failover aggregates shard-fault outcomes (zero without faults).
+	Failover FailoverStats
+	// Records logs every fault-restored member, for MTTR and
+	// post-failover recovery reductions.
+	Records []RestoredMember
 
 	now      time.Duration
 	slots    int // flow-space size: flows ever allocated are 0..slots-1
 	started  bool
 	zeroStep bool
 	churn    *churnState
+	ckpt     *ckptState
+	fault    *faultState
+	wd       *watchdogState
 	merged   []packet.Packet
+	// home maps each virtual shard (stripe residue class, flow mod
+	// DefaultCacheStripes) to the partition hosting it — the stripe
+	// ownership table. Initially v mod K; failover re-homes a killed
+	// virtual shard by rewriting its entry, which migrates both its
+	// flows and its policy-cache stripe in one move.
+	home [planner.DefaultCacheStripes]int
+	// fences are per-flow (from, to] SentAt windows whose deliveries
+	// are swallowed at the peek: the post-checkpoint in-flight sends of
+	// a failed-over member generation, whose sequence numbers the
+	// restored generation will reuse.
+	fences map[packet.FlowID][]fenceWin
+	// recovering maps a flow to the index in Records of its latest
+	// fault-restored generation that has not yet absorbed a delivery;
+	// the peek stamps RecoveredAt through it (virtual-time MTTR).
+	recovering map[packet.FlowID]int
+	// priorHash binds barrier checkpoints to the fleet's model
+	// identity (set when checkpoints are enabled).
+	priorHash uint64
+	// degradedRetired accumulates DegradedServed counts of retired
+	// members, so DegradedServed() survives churn and failover.
+	degradedRetired int64
 }
 
 // New builds the sharded runtime. Nothing runs until Run.
@@ -203,6 +237,9 @@ func New(cfg Config) *Fleet {
 	for i := 0; i < k; i++ {
 		sf.Parts = append(sf.Parts, fleet.NewPartition(pc, i, k, sf.Caches))
 	}
+	for v := range sf.home {
+		sf.home[v] = v % k
+	}
 	return sf
 }
 
@@ -219,7 +256,7 @@ func perShardWorkers(total, k int) int {
 }
 
 func (sf *Fleet) owner(flow packet.FlowID) *fleet.Partition {
-	return sf.Parts[int(flow)%sf.K]
+	return sf.Parts[sf.home[int(flow)%planner.DefaultCacheStripes]]
 }
 
 // MemberAt returns the flow's live member, nil when vacant.
@@ -350,9 +387,47 @@ func (sf *Fleet) admit(flow packet.FlowID, offset time.Duration) *fleet.Member {
 	return m
 }
 
+// admitSender starts a caller-built (warm-restored) sender on flow
+// with the given offset, clamped strictly positive like admit.
+func (sf *Fleet) admitSender(flow packet.FlowID, s *core.Sender, offset time.Duration) *fleet.Member {
+	if offset <= 0 {
+		offset = time.Nanosecond
+	}
+	m := sf.owner(flow).AttachSender(flow, s, sf.Recv.Received[flow], sf.rawDrops(flow))
+	m.Start(offset)
+	if int(flow) >= sf.slots {
+		sf.slots = int(flow) + 1
+	}
+	return m
+}
+
 // retire tears the flow's member down, mirroring fleet.Retire.
 func (sf *Fleet) retire(flow packet.FlowID) *fleet.Member {
-	return sf.owner(flow).RetireMember(flow, sf.Recv.Received[flow], sf.rawDrops(flow))
+	m := sf.owner(flow).RetireMember(flow, sf.Recv.Received[flow], sf.rawDrops(flow))
+	if m != nil {
+		sf.degradedRetired += m.DegradedServed()
+		// A fault-restored generation churned away before its first
+		// delivery never recovers; leave its RecoveredAt zero.
+		delete(sf.recovering, flow)
+	}
+	return m
+}
+
+// barrier executes every due barrier-time subsystem in a fixed order:
+// checkpoint sweeps (so a kill landing on the same barrier restores
+// from the freshest possible state), fault processing (stall
+// transitions, then kills and their failovers), then the churn
+// lifecycle.
+func (sf *Fleet) barrier() {
+	if sf.ckpt != nil {
+		sf.checkpointSweep()
+	}
+	if sf.fault != nil {
+		sf.faultBarrier()
+	}
+	if sf.churn != nil {
+		sf.lifecycleBarrier()
+	}
 }
 
 // Run drives the sharded fleet to the absolute virtual time d.
@@ -370,9 +445,7 @@ func (sf *Fleet) Run(d time.Duration) {
 		sf.window(0)
 	}
 	for sf.now < d {
-		if sf.churn != nil {
-			sf.lifecycleBarrier()
-		}
+		sf.barrier()
 		end := sf.now + sf.Delta
 		if end > d {
 			end = d
@@ -421,6 +494,14 @@ func (sf *Fleet) nextAnything(limit time.Duration) (time.Duration, bool) {
 			best, ok = t, true
 		}
 	}
+	if sf.ckpt != nil && sf.ckpt.next < best {
+		best, ok = sf.ckpt.next, true
+	}
+	if sf.fault != nil {
+		if t, has := sf.fault.nextDue(); has && t < best {
+			best, ok = t, true
+		}
+	}
 	if best > limit {
 		// Nothing before the end of the run still counts as "something"
 		// so the caller advances to limit, not past it.
@@ -443,12 +524,26 @@ func (sf *Fleet) window(end time.Duration) {
 	// 1. Peek: the at-most-one delivery this window can contain.
 	if pkt, doneAt, ok := sf.Link.InService(); ok && doneAt <= end {
 		m := sf.MemberAt(pkt.Flow)
-		if m == nil || m.Retired() {
+		switch {
+		case sf.fenced(pkt.Flow, pkt.SentAt):
+			// A post-checkpoint in-flight send of a failed-over
+			// generation: the restored sender will reuse its sequence
+			// number, so delivering this acknowledgment would corrupt
+			// the restored belief. Swallow it and advance the restored
+			// generation's delivery fence so its Delivered stays its
+			// own.
+			sf.Failover.FencedAcks++
+			sf.owner(pkt.Flow).BumpDeliveryFence(pkt.Flow, 1)
+		case m == nil || m.Retired():
 			// Membership only changes at barriers, so the peek-time
 			// check equals the delivery-time check the single-loop
 			// fleet performs.
 			sf.OrphanAcks++
-		} else {
+		default:
+			if idx, ok := sf.recovering[pkt.Flow]; ok {
+				sf.Records[idx].RecoveredAt = doneAt
+				delete(sf.recovering, pkt.Flow)
+			}
 			sf.owner(pkt.Flow).ScheduleAck(packet.Ack{
 				Flow:       pkt.Flow,
 				Seq:        pkt.Seq,
@@ -458,19 +553,28 @@ func (sf *Fleet) window(end time.Duration) {
 		}
 	}
 
-	// 2. Run the shards to the window end in parallel.
+	// 2. Run the shards to the window end in parallel. The production
+	// watchdog applies last window's wall-clock verdicts first (an
+	// overrunning shard's members serve this window degraded) and
+	// times each shard's run.
+	if sf.wd != nil {
+		sf.applyWatchdog()
+	}
 	if sf.K == 1 {
-		sf.Parts[0].RunTo(end)
+		sf.timedRun(0, end)
 	} else {
 		var wg sync.WaitGroup
-		for _, p := range sf.Parts {
+		for i := range sf.Parts {
 			wg.Add(1)
-			go func(p *fleet.Partition) {
+			go func(i int) {
 				defer wg.Done()
-				p.RunTo(end)
-			}(p)
+				sf.timedRun(i, end)
+			}(i)
 		}
 		wg.Wait()
+	}
+	if sf.wd != nil {
+		sf.judgeWatchdog()
 	}
 
 	// 3. Merge the outboxes in canonical (SentAt, Flow, Seq) order —
